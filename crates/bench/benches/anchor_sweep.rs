@@ -1,0 +1,61 @@
+//! Criterion version of Figure 4: EMR query time as a function of the number
+//! of anchors, with Mogul as the anchor-free reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mogul_core::{EmrConfig, EmrSolver, MogulConfig, MogulIndex, MrParams, Ranker};
+use mogul_data::suite::SuiteScale;
+use mogul_eval::scenarios::{limited_scenarios, ScenarioConfig};
+use std::time::Duration;
+
+fn bench_anchor_sweep(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        scale: SuiteScale::Small,
+        num_queries: 5,
+        ..ScenarioConfig::default()
+    };
+    let scenario = &limited_scenarios(&cfg, 1).expect("scenario")[0];
+    let params = MrParams::default();
+    let queries = scenario.queries.clone();
+
+    let mogul = MogulIndex::build(
+        &scenario.graph,
+        MogulConfig {
+            params,
+            ..MogulConfig::default()
+        },
+    )
+    .expect("mogul index");
+
+    let mut group = c.benchmark_group("fig4_anchor_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    group.bench_function("Mogul", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                std::hint::black_box(mogul.search(q, 5).unwrap());
+            }
+        })
+    });
+    for anchors in [10usize, 50, 200] {
+        let emr = EmrSolver::new(
+            scenario.spec.dataset.features(),
+            params,
+            EmrConfig::with_anchors(anchors),
+        )
+        .expect("emr");
+        group.bench_with_input(BenchmarkId::new("EMR", anchors), &anchors, |b, _| {
+            b.iter(|| {
+                for &q in &queries {
+                    std::hint::black_box(emr.top_k(q, 5).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anchor_sweep);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion version of Figure 7 / Table 2: out-of-sample query time of
+//! Mogul vs EMR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mogul_core::{
+    out_of_sample::OutOfSampleConfig, EmrConfig, EmrSolver, MogulConfig, MogulIndex, MrParams,
+    OutOfSampleIndex,
+};
+use mogul_data::suite::SuiteScale;
+use mogul_eval::scenarios::{limited_scenarios, ScenarioConfig};
+use mogul_graph::knn::{knn_graph, KnnConfig};
+use std::time::Duration;
+
+fn bench_out_of_sample(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        scale: SuiteScale::Small,
+        num_queries: 5,
+        ..ScenarioConfig::default()
+    };
+    let scenario = &limited_scenarios(&cfg, 1).expect("scenario")[0];
+    let (db, queries) = scenario
+        .spec
+        .dataset
+        .split_out_queries(5, 7)
+        .expect("holdout");
+    let graph = knn_graph(db.features(), KnnConfig::with_k(5)).expect("knn graph");
+    let params = MrParams::default();
+    let index = MogulIndex::build(
+        &graph,
+        MogulConfig {
+            params,
+            ..MogulConfig::default()
+        },
+    )
+    .expect("mogul index");
+    let oos = OutOfSampleIndex::new(index, db.features().to_vec(), OutOfSampleConfig::default())
+        .expect("oos index");
+    let emr = EmrSolver::new(db.features(), params, EmrConfig::with_anchors(10)).expect("emr");
+
+    let mut group = c.benchmark_group("fig7_out_of_sample");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_function("Mogul", |b| {
+        b.iter(|| {
+            for (feature, _) in &queries {
+                std::hint::black_box(oos.query(feature, 5).unwrap());
+            }
+        })
+    });
+    group.bench_function("EMR", |b| {
+        b.iter(|| {
+            for (feature, _) in &queries {
+                std::hint::black_box(emr.top_k_for_feature(feature, 5).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_out_of_sample);
+criterion_main!(benches);

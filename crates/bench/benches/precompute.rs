@@ -1,0 +1,58 @@
+//! Criterion version of Figure 8: index precomputation under the Mogul
+//! ordering vs a random ordering, plus the MogulE (complete) factorization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mogul_core::{MogulConfig, MogulIndex, MrParams};
+use mogul_data::suite::SuiteScale;
+use mogul_eval::scenarios::{limited_scenarios, ScenarioConfig};
+use mogul_graph::ordering::random_ordering;
+use std::time::Duration;
+
+fn bench_precompute(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        scale: SuiteScale::Small,
+        num_queries: 1,
+        ..ScenarioConfig::default()
+    };
+    let scenario = &limited_scenarios(&cfg, 1).expect("scenario")[0];
+    let n = scenario.graph.num_nodes();
+    let config = MogulConfig {
+        params: MrParams::default(),
+        ..MogulConfig::default()
+    };
+
+    let mut group = c.benchmark_group("fig8_precompute");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("Mogul_ordering", |b| {
+        b.iter(|| std::hint::black_box(MogulIndex::build(&scenario.graph, config).unwrap()))
+    });
+    group.bench_function("Random_ordering", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                MogulIndex::build_with_ordering(&scenario.graph, config, random_ordering(n, 7))
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("MogulE_complete_factorization", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                MogulIndex::build(
+                    &scenario.graph,
+                    MogulConfig {
+                        params: MrParams::default(),
+                        ..MogulConfig::exact()
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_precompute);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion version of Figure 5: pruned vs unpruned vs plain incomplete-
+//! Cholesky search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mogul_core::{MogulConfig, MogulIndex, MrParams, SearchMode};
+use mogul_data::suite::SuiteScale;
+use mogul_eval::scenarios::{limited_scenarios, ScenarioConfig};
+use std::time::Duration;
+
+fn bench_pruning(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        scale: SuiteScale::Small,
+        num_queries: 5,
+        ..ScenarioConfig::default()
+    };
+    let scenario = &limited_scenarios(&cfg, 2).expect("scenario")[1];
+    let index = MogulIndex::build(
+        &scenario.graph,
+        MogulConfig {
+            params: MrParams::default(),
+            ..MogulConfig::default()
+        },
+    )
+    .expect("mogul index");
+    let queries = scenario.queries.clone();
+
+    let mut group = c.benchmark_group("fig5_pruning");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (name, mode) in [
+        ("Mogul", SearchMode::Pruned),
+        ("WithoutEstimation", SearchMode::NoPruning),
+        ("IncompleteCholesky", SearchMode::FullSubstitution),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for &q in &queries {
+                    std::hint::black_box(index.search_with_stats(q, 5, mode).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

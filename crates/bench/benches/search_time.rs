@@ -1,0 +1,84 @@
+//! Criterion version of Figure 1: per-query search time of every method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mogul_core::{
+    EmrConfig, EmrSolver, InverseSolver, IterativeConfig, IterativeSolver, MogulConfig,
+    MogulIndex, MrParams, Ranker,
+};
+use mogul_data::suite::SuiteScale;
+use mogul_eval::scenarios::{limited_scenarios, ScenarioConfig};
+use std::time::Duration;
+
+fn config() -> ScenarioConfig {
+    ScenarioConfig {
+        scale: SuiteScale::Small,
+        num_queries: 5,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn bench_search_time(c: &mut Criterion) {
+    let cfg = config();
+    let scenario = &limited_scenarios(&cfg, 1).expect("scenario")[0];
+    let params = MrParams::default();
+    let queries = scenario.queries.clone();
+
+    let mogul = MogulIndex::build(
+        &scenario.graph,
+        MogulConfig {
+            params,
+            ..MogulConfig::default()
+        },
+    )
+    .expect("mogul index");
+    let emr = EmrSolver::new(
+        scenario.spec.dataset.features(),
+        params,
+        EmrConfig::with_anchors(10),
+    )
+    .expect("emr");
+    let iterative =
+        IterativeSolver::new(&scenario.graph, params, IterativeConfig::default()).expect("iterative");
+    let inverse = InverseSolver::new(&scenario.graph, params).expect("inverse");
+
+    let mut group = c.benchmark_group("fig1_search_time");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for k in [5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("Mogul", k), &k, |b, &k| {
+            b.iter(|| {
+                for &q in &queries {
+                    std::hint::black_box(mogul.search(q, k).unwrap());
+                }
+            })
+        });
+    }
+    group.bench_function("EMR(d=10)", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                std::hint::black_box(emr.top_k(q, 5).unwrap());
+            }
+        })
+    });
+    group.bench_function("Iterative", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                std::hint::black_box(iterative.top_k(q, 5).unwrap());
+            }
+        })
+    });
+    group.bench_function("Inverse(per-query)", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                std::hint::black_box(inverse.top_k(q, 5).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_time);
+criterion_main!(benches);

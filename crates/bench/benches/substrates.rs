@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the substrates every figure depends on: k-NN graph
+//! construction, modularity clustering, the node ordering, and the two
+//! `L D Lᵀ` factorizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mogul_data::suite::SuiteScale;
+use mogul_eval::scenarios::{limited_scenarios, ScenarioConfig};
+use mogul_graph::adjacency::ranking_system_matrix;
+use mogul_graph::clustering::modularity::{modularity_clustering, ModularityConfig};
+use mogul_graph::knn::{knn_graph, KnnConfig};
+use mogul_graph::ordering::mogul_ordering_from_graph;
+use mogul_sparse::{complete_ldl, incomplete_ldl};
+use std::time::Duration;
+
+fn bench_substrates(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        scale: SuiteScale::Small,
+        num_queries: 1,
+        ..ScenarioConfig::default()
+    };
+    let scenario = &limited_scenarios(&cfg, 1).expect("scenario")[0];
+    let features = scenario.spec.dataset.features();
+    let graph = &scenario.graph;
+    let adjacency = graph.adjacency_matrix();
+    let w = ranking_system_matrix(&adjacency, 0.99).expect("system matrix");
+
+    let mut group = c.benchmark_group("substrates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("knn_graph_k5", |b| {
+        b.iter(|| std::hint::black_box(knn_graph(features, KnnConfig::with_k(5)).unwrap()))
+    });
+    group.bench_function("modularity_clustering", |b| {
+        b.iter(|| std::hint::black_box(modularity_clustering(graph, &ModularityConfig::default())))
+    });
+    group.bench_function("algorithm1_ordering", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                mogul_ordering_from_graph(graph, &ModularityConfig::default()).unwrap(),
+            )
+        })
+    });
+    group.bench_function("incomplete_ldl", |b| {
+        b.iter(|| std::hint::black_box(incomplete_ldl(&w).unwrap()))
+    });
+    group.bench_function("complete_ldl", |b| {
+        b.iter(|| std::hint::black_box(complete_ldl(&w).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

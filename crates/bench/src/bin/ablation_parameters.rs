@@ -1,0 +1,10 @@
+//! Ablation runner: α and k-NN degree sweep on the COIL-like dataset.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::ablations::{run_parameters, ParameterOptions};
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let table = run_parameters(&config, &ParameterOptions::default()).expect("parameter ablation");
+    println!("{table}");
+}

@@ -1,0 +1,10 @@
+//! Ablation runner: Mogul cost versus database size (O(n) verification).
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::ablations::{run_scaling, ScalingOptions};
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let table = run_scaling(&config, &ScalingOptions::default()).expect("scaling ablation");
+    println!("{table}");
+}

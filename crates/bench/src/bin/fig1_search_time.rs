@@ -1,0 +1,12 @@
+//! Figure 1 runner: search time of every method on the four datasets.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::fig1_search_time::{run, Fig1Options};
+use mogul_eval::scenarios::standard_scenarios;
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let scenarios = standard_scenarios(&config).expect("build scenarios");
+    let table = run(&scenarios, &config, &Fig1Options::default()).expect("figure 1");
+    println!("{table}");
+}

@@ -1,0 +1,12 @@
+//! Figure 3 runner: retrieval precision versus the number of EMR anchor points.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::anchor_sweep::{figure3_table, run_sweep, AnchorSweepOptions};
+use mogul_eval::scenarios::limited_scenarios;
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let scenario = &limited_scenarios(&config, 1).expect("build scenario")[0];
+    let points = run_sweep(scenario, &config, &AnchorSweepOptions::default()).expect("sweep");
+    println!("{}", figure3_table(&points));
+}

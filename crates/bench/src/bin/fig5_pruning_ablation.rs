@@ -1,0 +1,12 @@
+//! Figure 5 runner: effect of the sparse structure and the pruning estimation.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::fig5_pruning::{run, Fig5Options};
+use mogul_eval::scenarios::standard_scenarios;
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let scenarios = standard_scenarios(&config).expect("build scenarios");
+    let table = run(&scenarios, &config, &Fig5Options::default()).expect("figure 5");
+    println!("{table}");
+}

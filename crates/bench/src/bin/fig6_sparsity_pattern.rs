@@ -1,0 +1,13 @@
+//! Figure 6 runner: non-zero pattern of the factor `L` under Mogul vs random
+//! ordering.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::fig6_sparsity::{run, Fig6Options};
+use mogul_eval::scenarios::standard_scenarios;
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let scenarios = standard_scenarios(&config).expect("build scenarios");
+    let table = run(&scenarios, &config, &Fig6Options::default()).expect("figure 6");
+    println!("{table}");
+}

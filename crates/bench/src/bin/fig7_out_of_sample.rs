@@ -1,0 +1,12 @@
+//! Figure 7 runner: out-of-sample search time of Mogul vs EMR.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::fig7_out_of_sample::{figure7_table, measure, Fig7Options};
+use mogul_eval::scenarios::standard_scenarios;
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let scenarios = standard_scenarios(&config).expect("build scenarios");
+    let measurements = measure(&scenarios, &config, &Fig7Options::default()).expect("figure 7");
+    println!("{}", figure7_table(&measurements));
+}

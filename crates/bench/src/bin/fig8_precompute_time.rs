@@ -1,0 +1,12 @@
+//! Figure 8 runner: precomputation time of Mogul vs a random node ordering.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::fig8_precompute::{run, Fig8Options};
+use mogul_eval::scenarios::standard_scenarios;
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let scenarios = standard_scenarios(&config).expect("build scenarios");
+    let table = run(&scenarios, &config, &Fig8Options::default()).expect("figure 8");
+    println!("{table}");
+}

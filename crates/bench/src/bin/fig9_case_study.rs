@@ -1,0 +1,12 @@
+//! Figure 9 runner: qualitative retrieval case study on the COIL-like dataset.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::fig9_case_study::{run, Fig9Options};
+use mogul_eval::scenarios::limited_scenarios;
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let scenario = &limited_scenarios(&config, 1).expect("build scenario")[0];
+    let table = run(scenario, &config, &Fig9Options::default()).expect("figure 9");
+    println!("{table}");
+}

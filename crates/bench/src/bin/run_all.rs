@@ -1,0 +1,64 @@
+//! Run every figure/table experiment in sequence and print the full report.
+//!
+//! `cargo run -p mogul-bench --release --bin run_all [tiny|small|medium|large]`
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::{
+    anchor_sweep, fig1_search_time, fig5_pruning, fig6_sparsity, fig7_out_of_sample,
+    fig8_precompute, fig9_case_study,
+};
+use mogul_eval::scenarios::{limited_scenarios, standard_scenarios};
+
+fn main() {
+    let scale = scale_from_args();
+    let config = runner_config(scale);
+    println!("# Mogul evaluation suite (scale: {scale:?})\n");
+
+    let scenarios = standard_scenarios(&config).expect("build scenarios");
+    for s in &scenarios {
+        println!(
+            "dataset {:<14} n = {:>6}  edges = {:>7}  classes = {}",
+            s.name(),
+            s.len(),
+            s.graph.num_edges(),
+            s.spec.dataset.num_classes()
+        );
+    }
+    println!();
+
+    let fig1 = fig1_search_time::run(&scenarios, &config, &fig1_search_time::Fig1Options::default())
+        .expect("figure 1");
+    println!("{fig1}");
+
+    let coil = &limited_scenarios(&config, 1).expect("coil scenario")[0];
+    let points = anchor_sweep::run_sweep(coil, &config, &anchor_sweep::AnchorSweepOptions::default())
+        .expect("anchor sweep");
+    println!("{}", anchor_sweep::figure2_table(&points));
+    println!("{}", anchor_sweep::figure3_table(&points));
+    println!("{}", anchor_sweep::figure4_table(&points));
+
+    let fig5 = fig5_pruning::run(&scenarios, &config, &fig5_pruning::Fig5Options::default())
+        .expect("figure 5");
+    println!("{fig5}");
+
+    let fig6 = fig6_sparsity::run(&scenarios, &config, &fig6_sparsity::Fig6Options::default())
+        .expect("figure 6");
+    println!("{fig6}");
+
+    let oos = fig7_out_of_sample::measure(
+        &scenarios,
+        &config,
+        &fig7_out_of_sample::Fig7Options::default(),
+    )
+    .expect("figure 7 / table 2");
+    println!("{}", fig7_out_of_sample::figure7_table(&oos));
+    println!("{}", fig7_out_of_sample::table2(&oos));
+
+    let fig8 = fig8_precompute::run(&scenarios, &config, &fig8_precompute::Fig8Options::default())
+        .expect("figure 8");
+    println!("{fig8}");
+
+    let fig9 = fig9_case_study::run(coil, &config, &fig9_case_study::Fig9Options::default())
+        .expect("figure 9");
+    println!("{fig9}");
+}

@@ -1,0 +1,12 @@
+//! Table 2 runner: breakdown of out-of-sample search time.
+
+use mogul_bench::{runner_config, scale_from_args};
+use mogul_eval::experiments::fig7_out_of_sample::{measure, table2, Fig7Options};
+use mogul_eval::scenarios::standard_scenarios;
+
+fn main() {
+    let config = runner_config(scale_from_args());
+    let scenarios = standard_scenarios(&config).expect("build scenarios");
+    let measurements = measure(&scenarios, &config, &Fig7Options::default()).expect("table 2");
+    println!("{}", table2(&measurements));
+}

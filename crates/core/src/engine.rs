@@ -1,0 +1,239 @@
+//! High-level retrieval engine: the "downstream user" API.
+//!
+//! The lower-level types (`MogulIndex`, `OutOfSampleIndex`, the k-NN graph
+//! builders) expose every knob of the paper. Most applications, however, just
+//! want "index these feature vectors, then give me the top-k for a query" —
+//! that is what [`RetrievalEngine`] provides: one builder call performs the
+//! whole precomputation pipeline (k-NN graph → clustering → ordering →
+//! factorization → centroids) and the engine then answers both in-database
+//! and out-of-sample queries.
+
+use crate::mogul::{Factorization, MogulConfig, MogulIndex, PrecomputeStats};
+use crate::out_of_sample::{OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
+use crate::params::MrParams;
+use crate::ranking::TopKResult;
+use crate::{CoreError, Result};
+use mogul_graph::knn::{approximate_knn_graph, knn_graph, KnnConfig};
+
+/// How the k-NN graph is constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphConstruction {
+    /// Exact (threaded brute-force) k-NN search.
+    Exact,
+    /// Partition-based approximate k-NN search; `partitions` random centers,
+    /// `probes` partitions scanned per query point.
+    Approximate {
+        /// Number of random partitions.
+        partitions: usize,
+        /// Partitions scanned per point.
+        probes: usize,
+    },
+}
+
+/// Builder for [`RetrievalEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrievalEngineBuilder {
+    /// Manifold Ranking α.
+    pub alpha: f64,
+    /// Number of nearest neighbours of the k-NN graph.
+    pub knn_k: usize,
+    /// Exact or approximate graph construction.
+    pub graph: GraphConstruction,
+    /// Incomplete (Mogul) or complete (MogulE) factorization.
+    pub factorization: Factorization,
+    /// Number of database neighbours used for out-of-sample queries.
+    pub out_of_sample_neighbors: usize,
+    /// Seed used by the approximate graph construction.
+    pub seed: u64,
+}
+
+impl Default for RetrievalEngineBuilder {
+    fn default() -> Self {
+        RetrievalEngineBuilder {
+            alpha: 0.99,
+            knn_k: 5,
+            graph: GraphConstruction::Exact,
+            factorization: Factorization::Incomplete,
+            out_of_sample_neighbors: 5,
+            seed: 2014,
+        }
+    }
+}
+
+impl RetrievalEngineBuilder {
+    /// Use the exact (MogulE) factorization.
+    pub fn exact_ranking(mut self) -> Self {
+        self.factorization = Factorization::Complete;
+        self
+    }
+
+    /// Override the Manifold Ranking α.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Override the k-NN graph degree.
+    pub fn knn_k(mut self, k: usize) -> Self {
+        self.knn_k = k;
+        self
+    }
+
+    /// Use approximate k-NN graph construction (for larger collections).
+    pub fn approximate_graph(mut self, partitions: usize, probes: usize) -> Self {
+        self.graph = GraphConstruction::Approximate { partitions, probes };
+        self
+    }
+
+    /// Build the engine, consuming the feature vectors (one per item).
+    pub fn build(self, features: Vec<Vec<f64>>) -> Result<RetrievalEngine> {
+        if features.is_empty() {
+            return Err(CoreError::InvalidInput(
+                "cannot build a retrieval engine over zero items".into(),
+            ));
+        }
+        let params = MrParams::new(self.alpha)?;
+        let knn_config = KnnConfig::with_k(self.knn_k);
+        let graph = match self.graph {
+            GraphConstruction::Exact => knn_graph(&features, knn_config)?,
+            GraphConstruction::Approximate { partitions, probes } => {
+                approximate_knn_graph(&features, knn_config, partitions, probes, self.seed)?
+            }
+        };
+        let index = MogulIndex::build(
+            &graph,
+            MogulConfig {
+                params,
+                factorization: self.factorization,
+                ..MogulConfig::default()
+            },
+        )?;
+        let oos = OutOfSampleIndex::new(
+            index,
+            features,
+            OutOfSampleConfig {
+                num_neighbors: self.out_of_sample_neighbors,
+                cluster_probes: 1,
+            },
+        )?;
+        Ok(RetrievalEngine { oos })
+    }
+}
+
+/// A ready-to-query retrieval engine over a fixed collection of items.
+#[derive(Debug, Clone)]
+pub struct RetrievalEngine {
+    oos: OutOfSampleIndex,
+}
+
+impl RetrievalEngine {
+    /// Start building an engine with the paper's default parameters.
+    pub fn builder() -> RetrievalEngineBuilder {
+        RetrievalEngineBuilder::default()
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.oos.index().num_nodes()
+    }
+
+    /// `true` when the engine indexes zero items (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying Mogul index (ordering, factors, statistics).
+    pub fn index(&self) -> &MogulIndex {
+        self.oos.index()
+    }
+
+    /// Precomputation statistics of the underlying index.
+    pub fn precompute_stats(&self) -> PrecomputeStats {
+        self.oos.index().precompute_stats()
+    }
+
+    /// Top-k items for a query that is part of the collection (the query
+    /// itself is excluded from the result).
+    pub fn query_by_id(&self, item: usize, k: usize) -> Result<TopKResult> {
+        self.oos.index().search(item, k)
+    }
+
+    /// Top-k items for an arbitrary feature vector (out-of-sample query).
+    pub fn query_by_feature(&self, feature: &[f64], k: usize) -> Result<OutOfSampleResult> {
+        self.oos.query(feature, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogul_data::coil::{coil_like, CoilLikeConfig};
+
+    fn features() -> (mogul_data::Dataset, Vec<Vec<f64>>) {
+        let data = coil_like(&CoilLikeConfig {
+            num_objects: 6,
+            poses_per_object: 18,
+            dim: 12,
+            ..Default::default()
+        })
+        .unwrap();
+        let features = data.features().to_vec();
+        (data, features)
+    }
+
+    #[test]
+    fn default_engine_answers_both_query_kinds() {
+        let (data, feats) = features();
+        let engine = RetrievalEngine::builder().build(feats).unwrap();
+        assert_eq!(engine.len(), data.len());
+        assert!(!engine.is_empty());
+        assert!(engine.precompute_stats().l_nnz > 0);
+
+        let in_sample = engine.query_by_id(0, 5).unwrap();
+        assert_eq!(in_sample.len(), 5);
+        assert!(!in_sample.contains(0));
+        let same_object = in_sample
+            .nodes()
+            .iter()
+            .filter(|&&n| data.label(n) == data.label(0))
+            .count();
+        assert!(same_object >= 4);
+
+        let oos = engine.query_by_feature(data.feature(7), 5).unwrap();
+        assert_eq!(oos.top_k.len(), 5);
+        let same_object = oos
+            .top_k
+            .nodes()
+            .iter()
+            .filter(|&&n| data.label(n) == data.label(7))
+            .count();
+        assert!(same_object >= 3);
+    }
+
+    #[test]
+    fn builder_options_are_respected() {
+        let (_, feats) = features();
+        let engine = RetrievalEngine::builder()
+            .exact_ranking()
+            .alpha(0.9)
+            .knn_k(8)
+            .build(feats.clone())
+            .unwrap();
+        assert_eq!(engine.index().factorization(), Factorization::Complete);
+        assert!((engine.index().params().alpha - 0.9).abs() < 1e-12);
+
+        let approx = RetrievalEngine::builder()
+            .approximate_graph(10, 3)
+            .build(feats)
+            .unwrap();
+        let top = approx.query_by_id(3, 4).unwrap();
+        assert_eq!(top.len(), 4);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(RetrievalEngine::builder().build(vec![]).is_err());
+        let (_, feats) = features();
+        assert!(RetrievalEngine::builder().alpha(1.5).build(feats).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # mogul-core
+//!
+//! Top-k Manifold Ranking: the **Mogul** algorithm of Fujiwara et al.
+//! (*Scaling Manifold Ranking Based Image Retrieval*, VLDB 2014) together
+//! with every baseline the paper compares against.
+//!
+//! Manifold Ranking scores the nodes of a k-NN graph with respect to a query
+//! node as `x* = (1 − α)(I − α C^{-1/2} A C^{-1/2})^{-1} q` (Equation (2)).
+//! The solvers in this crate compute (exactly or approximately) the top-k
+//! nodes under that score:
+//!
+//! | Solver | Paper section | Complexity | Notes |
+//! |---|---|---|---|
+//! | [`exact::InverseSolver`] | §3 | `O(n³)` time, `O(n²)` space | dense inverse; the reference answer |
+//! | [`iterative::IterativeSolver`] | §2 (Zhou et al.) | `O(n t)` | power iteration until convergence |
+//! | [`fmr::FmrSolver`] | §2 (He et al.) | block-wise low rank | spectral partition + truncated eigendecomposition |
+//! | [`emr::EmrSolver`] | §2 (Xu et al.) | `O(n d + d³)` | anchor graph + Woodbury identity |
+//! | [`mogul::MogulIndex`] | §4 | `O(n)` | incomplete `LDLᵀ` + cluster pruning (the paper's contribution) |
+//! | [`mogul::MogulIndex`] (exact mode) | §4.6.1 | `O(m)` | complete `LDLᵀ` (MogulE) |
+//! | [`out_of_sample::OutOfSampleIndex`] | §4.6.2 | `O(n)` | queries outside the database |
+//!
+//! All solvers implement the [`Ranker`] trait so the evaluation harness can
+//! treat them uniformly.
+
+#![warn(missing_docs)]
+// Index-based loops mirror the forward/back-substitution recurrences of the paper.
+#![allow(clippy::needless_range_loop)]
+
+pub mod emr;
+pub mod engine;
+pub mod exact;
+pub mod fmr;
+pub mod iterative;
+pub mod mogul;
+pub mod out_of_sample;
+pub mod params;
+pub mod ranking;
+
+pub use emr::{EmrConfig, EmrSolver};
+pub use engine::{RetrievalEngine, RetrievalEngineBuilder};
+pub use exact::InverseSolver;
+pub use fmr::{FmrConfig, FmrSolver};
+pub use iterative::{IterativeConfig, IterativeSolver};
+pub use mogul::{Factorization, MogulConfig, MogulIndex, PrecomputeStats, SearchMode, SearchStats};
+pub use out_of_sample::{OutOfSampleIndex, OutOfSampleResult};
+pub use params::MrParams;
+pub use ranking::{RankedNode, Ranker, TopKResult};
+
+/// Errors produced by this crate (shared with the substrates).
+pub use mogul_sparse::error::{Result, SparseError as CoreError};

@@ -1,0 +1,202 @@
+//! Upper-bounding cluster estimations (Section 4.3 of the paper).
+//!
+//! For an interior cluster `C_i` (not the query cluster, not the border
+//! cluster `C_N`) the paper bounds every approximate score in the cluster by
+//!
+//! ```text
+//! x̄'_{C_i} = X_i (1 + Ū_i)^{N_i − 1}
+//! X_i      = Σ_{j ≥ c_N} Ū_{i:j} |x'_j|
+//! Ū_i      = max { |U_jk| : u'_j, u'_k ∈ C_i, j ≠ k }
+//! Ū_{i:j}  = max { |U_kj| : u'_k ∈ C_i }
+//! ```
+//!
+//! (Definition 1, Definition 2, Lemmas 6–7.) `Ū_i` and the per-column maxima
+//! `Ū_{i:j}` depend only on the factor `U = Lᵀ` and are precomputed in `O(n)`
+//! time; `X_i` depends on the border scores `x'_j` (j ∈ C_N) of the current
+//! query and is evaluated at search time.
+
+use mogul_graph::ordering::NodeOrdering;
+use mogul_sparse::CsrMatrix;
+
+/// Precomputed per-cluster quantities used by the upper-bounding estimation.
+#[derive(Debug, Clone)]
+pub struct ClusterBounds {
+    /// `Ū_i` per cluster (0 for the border cluster itself and for clusters
+    /// without any off-diagonal within-cluster entry).
+    max_within: Vec<f64>,
+    /// For each cluster `i`, the sparse list of `(j, Ū_{i:j})` over border
+    /// columns `j ≥ c_N` that any row of the cluster touches.
+    border_columns: Vec<Vec<(usize, f64)>>,
+}
+
+impl ClusterBounds {
+    /// Precompute `Ū_i` and `Ū_{i:j}` from the factor `U = Lᵀ` (rows = CSR)
+    /// and the node ordering. Runs in time linear in `nnz(U)`.
+    pub fn precompute(u: &CsrMatrix, ordering: &NodeOrdering) -> Self {
+        let num_clusters = ordering.num_clusters();
+        let border = ordering.border_range();
+        let mut max_within = vec![0.0f64; num_clusters];
+        let mut border_maps: Vec<std::collections::HashMap<usize, f64>> =
+            vec![std::collections::HashMap::new(); num_clusters];
+
+        for (cluster_idx, range) in ordering.clusters.iter().enumerate() {
+            for k in range.indices() {
+                let (cols, vals) = u.row(k);
+                for (&j, &v) in cols.iter().zip(vals.iter()) {
+                    let abs = v.abs();
+                    if j != k && range.contains(j) && abs > max_within[cluster_idx] {
+                        max_within[cluster_idx] = abs;
+                    }
+                    if j >= border.start && !border.contains(k) {
+                        let entry = border_maps[cluster_idx].entry(j).or_insert(0.0);
+                        if abs > *entry {
+                            *entry = abs;
+                        }
+                    }
+                }
+            }
+        }
+
+        let border_columns = border_maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(usize, f64)> = m.into_iter().collect();
+                v.sort_unstable_by_key(|&(j, _)| j);
+                v
+            })
+            .collect();
+
+        ClusterBounds {
+            max_within,
+            border_columns,
+        }
+    }
+
+    /// `Ū_i` of a cluster.
+    pub fn max_within(&self, cluster: usize) -> f64 {
+        self.max_within[cluster]
+    }
+
+    /// The stored `(j, Ū_{i:j})` pairs of a cluster.
+    pub fn border_columns(&self, cluster: usize) -> &[(usize, f64)] {
+        &self.border_columns[cluster]
+    }
+
+    /// Evaluate the upper bound `x̄'_{C_i} = X_i (1 + Ū_i)^{N_i − 1}` given
+    /// the border scores `x_border(j)` (the caller passes the permuted score
+    /// vector restricted to `j ≥ c_N`; other indices are never requested).
+    pub fn cluster_estimate(
+        &self,
+        cluster: usize,
+        cluster_len: usize,
+        x_border: impl Fn(usize) -> f64,
+    ) -> f64 {
+        let x_i: f64 = self.border_columns[cluster]
+            .iter()
+            .map(|&(j, u_max)| u_max * x_border(j).abs())
+            .sum();
+        if x_i == 0.0 {
+            return 0.0;
+        }
+        if cluster_len <= 1 {
+            return x_i;
+        }
+        let base = 1.0 + self.max_within[cluster];
+        // The geometric factor can overflow for large clusters; `inf` simply
+        // means "cannot prune", which is always safe.
+        let exponent = (cluster_len - 1) as f64;
+        x_i * base.powf(exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogul_graph::ordering::{ClusterRange, NodeOrdering};
+    use mogul_sparse::Permutation;
+
+    /// Hand-built ordering: cluster 0 = {0,1}, cluster 1 = {2,3}, border = {4,5}.
+    fn ordering() -> NodeOrdering {
+        NodeOrdering {
+            permutation: Permutation::identity(6),
+            clusters: vec![
+                ClusterRange { start: 0, len: 2 },
+                ClusterRange { start: 2, len: 2 },
+                ClusterRange { start: 4, len: 2 },
+            ],
+        }
+    }
+
+    /// Upper-triangular factor with within-cluster and border couplings.
+    fn u_factor() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            6,
+            6,
+            &[
+                (0, 0, 1.0),
+                (0, 1, -0.5), // within cluster 0
+                (0, 4, 0.2),  // cluster 0 → border
+                (1, 1, 1.0),
+                (1, 5, -0.3), // cluster 0 → border
+                (2, 2, 1.0),
+                (2, 3, 0.25), // within cluster 1
+                (3, 3, 1.0),
+                (3, 4, -0.1), // cluster 1 → border
+                (4, 4, 1.0),
+                (4, 5, 0.4), // within border
+                (5, 5, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn precomputed_maxima_match_hand_calculation() {
+        let bounds = ClusterBounds::precompute(&u_factor(), &ordering());
+        assert!((bounds.max_within(0) - 0.5).abs() < 1e-12);
+        assert!((bounds.max_within(1) - 0.25).abs() < 1e-12);
+        // Border columns of cluster 0: column 4 (0.2) and column 5 (0.3).
+        let cols0 = bounds.border_columns(0);
+        assert_eq!(cols0.len(), 2);
+        assert_eq!(cols0[0].0, 4);
+        assert!((cols0[0].1 - 0.2).abs() < 1e-12);
+        assert!((cols0[1].1 - 0.3).abs() < 1e-12);
+        // Cluster 1 touches only column 4.
+        let cols1 = bounds.border_columns(1);
+        assert_eq!(cols1, &[(4, 0.1)]);
+    }
+
+    #[test]
+    fn estimate_formula() {
+        let bounds = ClusterBounds::precompute(&u_factor(), &ordering());
+        // Border scores: x'_4 = 2, x'_5 = -1.
+        let x = |j: usize| if j == 4 { 2.0 } else { -1.0 };
+        // Cluster 0: X_0 = 0.2*2 + 0.3*1 = 0.7, bound = 0.7 * 1.5^(2-1) = 1.05.
+        let est0 = bounds.cluster_estimate(0, 2, x);
+        assert!((est0 - 1.05).abs() < 1e-12);
+        // Cluster 1: X_1 = 0.1*2 = 0.2, bound = 0.2 * 1.25.
+        let est1 = bounds.cluster_estimate(1, 2, x);
+        assert!((est1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_coupling_gives_zero_estimate() {
+        let bounds = ClusterBounds::precompute(&u_factor(), &ordering());
+        let est = bounds.cluster_estimate(1, 2, |_| 0.0);
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn singleton_cluster_estimate_is_just_x() {
+        let bounds = ClusterBounds::precompute(&u_factor(), &ordering());
+        let est = bounds.cluster_estimate(0, 1, |_| 1.0);
+        assert!((est - 0.5).abs() < 1e-12); // 0.2 + 0.3, no geometric factor
+    }
+
+    #[test]
+    fn huge_clusters_do_not_panic_on_overflow() {
+        let bounds = ClusterBounds::precompute(&u_factor(), &ordering());
+        let est = bounds.cluster_estimate(0, 100_000, |_| 1.0);
+        assert!(est.is_infinite() || est > 1e100);
+    }
+}

@@ -1,0 +1,607 @@
+//! Mogul's top-k search (Algorithm 2 of the paper).
+//!
+//! Given the precomputed [`MogulIndex`], a query is answered in three steps:
+//!
+//! 1. Forward substitution of `L' y = q'` restricted to the query cluster
+//!    `C_Q` and the border cluster `C_N` — every other entry of `y` is zero
+//!    (Lemma 4).
+//! 2. Back substitution of `U x' = y` for `C_N`, then for `C_Q`; these scores
+//!    seed the top-k set `K` and its threshold `θ`.
+//! 3. For every remaining cluster, the upper-bounding estimation
+//!    `x̄'_{C_i}` (Section 4.3) is compared against `θ`; clusters that cannot
+//!    contain an answer are skipped, the rest are scored via Lemma 5.
+//!
+//! The search also supports weighted multi-node query vectors, which is how
+//! out-of-sample queries are processed (Section 4.6.2).
+
+use crate::mogul::index::{Factorization, MogulIndex};
+use crate::ranking::{check_k, check_query, RankedNode, Ranker, TopKResult};
+use crate::Result;
+use mogul_graph::ordering::ClusterRange;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+/// How much of Mogul's machinery the search uses. The three modes correspond
+/// to the three curves of Figure 5 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Full Algorithm 2: restricted substitution plus cluster pruning.
+    Pruned,
+    /// Restricted substitution (Lemmas 4–5) but no pruning: the scores of
+    /// every cluster are computed ("W/O estimation" in Figure 5).
+    NoPruning,
+    /// Plain forward/back substitution over all nodes, ignoring the sparse
+    /// structure ("Incomplete Cholesky" in Figure 5).
+    FullSubstitution,
+}
+
+/// Counters describing how much work one search performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Interior clusters that were candidates for pruning.
+    pub clusters_considered: usize,
+    /// Clusters skipped thanks to the upper-bounding estimation.
+    pub clusters_pruned: usize,
+    /// Nodes whose approximate score was actually computed.
+    pub nodes_scored: usize,
+    /// Upper-bound evaluations performed.
+    pub bound_evaluations: usize,
+}
+
+/// Min-heap based top-k collector mirroring Algorithm 2's set `K`: it starts
+/// with `k` implicit dummy nodes of score 0, so the threshold `θ` is never
+/// negative and nodes with negative approximate scores are ignored.
+struct TopKCollector {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    score: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed on score so the binary max-heap acts as a min-heap on score.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(CmpOrdering::Equal)
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl TopKCollector {
+    fn new(k: usize) -> Self {
+        TopKCollector {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Current threshold `θ`: the lowest score in `K` (0 while dummies remain).
+    fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            0.0
+        } else {
+            self.heap.peek().map_or(0.0, |e| e.score)
+        }
+    }
+
+    fn offer(&mut self, node: usize, score: f64) {
+        if !score.is_finite() || score < self.threshold() {
+            return;
+        }
+        self.heap.push(HeapEntry { score, node });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    fn into_result(self) -> TopKResult {
+        TopKResult::new(
+            self.heap
+                .into_iter()
+                .map(|e| RankedNode {
+                    node: e.node,
+                    score: e.score,
+                })
+                .collect(),
+        )
+    }
+}
+
+impl MogulIndex {
+    /// Top-k search for an in-database query node using the full Algorithm 2
+    /// (restricted substitution + pruning). The query node itself is excluded
+    /// from the result.
+    pub fn search(&self, query: usize, k: usize) -> Result<TopKResult> {
+        Ok(self.search_with_stats(query, k, SearchMode::Pruned)?.0)
+    }
+
+    /// Top-k search with an explicit [`SearchMode`] and work counters.
+    pub fn search_with_stats(
+        &self,
+        query: usize,
+        k: usize,
+        mode: SearchMode,
+    ) -> Result<(TopKResult, SearchStats)> {
+        check_query(query, self.num_nodes())?;
+        check_k(k)?;
+        let permuted_query = self.ordering.permutation.new_index(query);
+        self.search_permuted(&[(permuted_query, 1.0)], k, mode, Some(permuted_query))
+    }
+
+    /// Top-k search for a weighted query vector given in *original* node ids
+    /// (used for out-of-sample queries where `q` holds the query's neighbours).
+    pub fn search_weighted(
+        &self,
+        query_weights: &[(usize, f64)],
+        k: usize,
+        mode: SearchMode,
+    ) -> Result<(TopKResult, SearchStats)> {
+        check_k(k)?;
+        let mut permuted: Vec<(usize, f64)> = Vec::with_capacity(query_weights.len());
+        for &(node, weight) in query_weights {
+            check_query(node, self.num_nodes())?;
+            if !weight.is_finite() {
+                return Err(crate::CoreError::InvalidInput(format!(
+                    "query weight for node {node} is not finite"
+                )));
+            }
+            permuted.push((self.ordering.permutation.new_index(node), weight));
+        }
+        self.search_permuted(&permuted, k, mode, None)
+    }
+
+    /// Approximate ranking scores of **all** nodes (original node order),
+    /// computed without pruning. This is what the accuracy experiments
+    /// (P@k, retrieval precision) consume.
+    pub fn all_scores(&self, query: usize) -> Result<Vec<f64>> {
+        check_query(query, self.num_nodes())?;
+        let permuted_query = self.ordering.permutation.new_index(query);
+        let x = self.scores_permuted(&[(permuted_query, 1.0)])?;
+        self.ordering.permutation.unpermute_vec(&x)
+    }
+
+    // ----------------------------------------------------------------------
+    // Internals
+    // ----------------------------------------------------------------------
+
+    /// Forward substitution `L' y = q'` restricted to `ranges` (ascending).
+    fn forward_selected(&self, q_scaled: &[(usize, f64)], ranges: &[ClusterRange]) -> Vec<f64> {
+        let n = self.num_nodes();
+        let mut q_vec = vec![0.0; n];
+        for &(idx, value) in q_scaled {
+            q_vec[idx] += value;
+        }
+        let mut y = vec![0.0; n];
+        let d = &self.factors.d;
+        for range in ranges {
+            for i in range.indices() {
+                let (cols, vals) = self.factors.l.row(i);
+                let mut sum = q_vec[i];
+                for (&j, &v) in cols.iter().zip(vals.iter()) {
+                    if j < i {
+                        sum -= v * d[j] * y[j];
+                    }
+                }
+                y[i] = sum / d[i];
+            }
+        }
+        y
+    }
+
+    /// Back substitution `U x' = y` restricted to one cluster range; assumes
+    /// all later ranges this cluster couples to (i.e. the border) are already
+    /// in `x`.
+    fn back_substitute_range(&self, range: ClusterRange, y: &[f64], x: &mut [f64]) {
+        for i in range.indices().rev() {
+            let (cols, vals) = self.factors.u.row(i);
+            let mut sum = y[i];
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                if j > i {
+                    sum -= v * x[j];
+                }
+            }
+            x[i] = sum;
+        }
+    }
+
+    /// The interior clusters touched by the query vector (deduplicated,
+    /// ascending), excluding the border cluster.
+    fn query_clusters(&self, q_entries: &[(usize, f64)]) -> Vec<usize> {
+        let border_idx = self.ordering.border_cluster();
+        let mut clusters: Vec<usize> = q_entries
+            .iter()
+            .map(|&(idx, _)| self.ordering.cluster_of_permuted(idx))
+            .filter(|&c| c != border_idx)
+            .collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        clusters
+    }
+
+    /// Scores of all nodes in permuted order, computed with the restricted
+    /// forward pass and an unrestricted (every cluster) backward pass.
+    fn scores_permuted(&self, q_entries: &[(usize, f64)]) -> Result<Vec<f64>> {
+        let n = self.num_nodes();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let scale = self.params.query_scale();
+        let q_scaled: Vec<(usize, f64)> = q_entries
+            .iter()
+            .map(|&(idx, w)| (idx, w * scale))
+            .collect();
+        let border_idx = self.ordering.border_cluster();
+        let query_clusters = self.query_clusters(&q_scaled);
+        let mut forward_ranges: Vec<ClusterRange> = query_clusters
+            .iter()
+            .map(|&c| self.ordering.clusters[c])
+            .collect();
+        forward_ranges.push(self.ordering.clusters[border_idx]);
+        let y = self.forward_selected(&q_scaled, &forward_ranges);
+
+        let mut x = vec![0.0; n];
+        self.back_substitute_range(self.ordering.clusters[border_idx], &y, &mut x);
+        for (ci, &range) in self.ordering.clusters.iter().enumerate() {
+            if ci == border_idx {
+                continue;
+            }
+            self.back_substitute_range(range, &y, &mut x);
+        }
+        Ok(x)
+    }
+
+    /// Algorithm 2 proper, over a permuted weighted query vector.
+    fn search_permuted(
+        &self,
+        q_entries: &[(usize, f64)],
+        k: usize,
+        mode: SearchMode,
+        exclude_permuted: Option<usize>,
+    ) -> Result<(TopKResult, SearchStats)> {
+        let n = self.num_nodes();
+        let mut stats = SearchStats::default();
+        if n == 0 {
+            return Ok((TopKResult::default(), stats));
+        }
+        let scale = self.params.query_scale();
+        let q_scaled: Vec<(usize, f64)> = q_entries
+            .iter()
+            .map(|&(idx, w)| (idx, w * scale))
+            .collect();
+
+        let mut collector = TopKCollector::new(k);
+        let offer_range = |collector: &mut TopKCollector, range: ClusterRange, x: &[f64]| {
+            for i in range.indices() {
+                if Some(i) == exclude_permuted {
+                    continue;
+                }
+                collector.offer(self.ordering.permutation.old_index(i), x[i]);
+            }
+        };
+
+        if mode == SearchMode::FullSubstitution {
+            // Ignore the sparse structure entirely: one pass of forward and
+            // back substitution over every node.
+            let full = ClusterRange { start: 0, len: n };
+            let y = self.forward_selected(&q_scaled, &[full]);
+            let mut x = vec![0.0; n];
+            self.back_substitute_range(full, &y, &mut x);
+            stats.nodes_scored = n;
+            offer_range(&mut collector, full, &x);
+            return Ok((collector.into_result(), stats));
+        }
+
+        let border_idx = self.ordering.border_cluster();
+        let border_range = self.ordering.clusters[border_idx];
+        let query_clusters = self.query_clusters(&q_scaled);
+
+        // Forward substitution restricted to C_Q ∪ C_N (Lemma 4).
+        let mut forward_ranges: Vec<ClusterRange> = query_clusters
+            .iter()
+            .map(|&c| self.ordering.clusters[c])
+            .collect();
+        forward_ranges.push(border_range);
+        let y = self.forward_selected(&q_scaled, &forward_ranges);
+
+        // Back substitution for C_N first (its scores feed every other
+        // cluster via Lemma 5), then for the query clusters.
+        let mut x = vec![0.0; n];
+        self.back_substitute_range(border_range, &y, &mut x);
+        stats.nodes_scored += border_range.len;
+        for &c in &query_clusters {
+            let range = self.ordering.clusters[c];
+            self.back_substitute_range(range, &y, &mut x);
+            stats.nodes_scored += range.len;
+        }
+        offer_range(&mut collector, border_range, &x);
+        for &c in &query_clusters {
+            offer_range(&mut collector, self.ordering.clusters[c], &x);
+        }
+
+        // Remaining interior clusters: prune or score.
+        for (ci, &range) in self.ordering.clusters.iter().enumerate() {
+            if ci == border_idx || query_clusters.contains(&ci) || range.is_empty() {
+                continue;
+            }
+            stats.clusters_considered += 1;
+            if mode == SearchMode::Pruned {
+                stats.bound_evaluations += 1;
+                let estimate = self
+                    .bounds
+                    .cluster_estimate(ci, range.len, |j| x[j]);
+                if estimate < collector.threshold() {
+                    stats.clusters_pruned += 1;
+                    continue;
+                }
+            }
+            self.back_substitute_range(range, &y, &mut x);
+            stats.nodes_scored += range.len;
+            offer_range(&mut collector, range, &x);
+        }
+
+        Ok((collector.into_result(), stats))
+    }
+}
+
+impl Ranker for MogulIndex {
+    fn name(&self) -> &'static str {
+        match self.factorization {
+            Factorization::Incomplete => "Mogul",
+            Factorization::Complete => "MogulE",
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.ordering.len()
+    }
+
+    fn top_k(&self, query: usize, k: usize) -> Result<TopKResult> {
+        self.search(query, k)
+    }
+
+    fn scores(&self, query: usize) -> Result<Vec<f64>> {
+        self.all_scores(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::InverseSolver;
+    use crate::mogul::index::MogulConfig;
+    use crate::params::MrParams;
+    use mogul_data::coil::{coil_like, CoilLikeConfig};
+    use mogul_graph::knn::{knn_graph, KnnConfig};
+    use mogul_graph::Graph;
+
+    fn clique_chain() -> Graph {
+        // Three cliques of 5 nodes connected in a chain by weak edges.
+        let clique = 5;
+        let groups = 3;
+        let mut g = Graph::empty(clique * groups);
+        for c in 0..groups {
+            let base = c * clique;
+            for i in 0..clique {
+                for j in (i + 1)..clique {
+                    g.add_edge(base + i, base + j, 1.0).unwrap();
+                }
+            }
+        }
+        g.add_edge(4, 5, 0.05).unwrap();
+        g.add_edge(9, 10, 0.05).unwrap();
+        g
+    }
+
+    fn coil_graph() -> (mogul_data::Dataset, Graph) {
+        let data = coil_like(&CoilLikeConfig {
+            num_objects: 6,
+            poses_per_object: 18,
+            dim: 12,
+            noise: 0.02,
+            ..Default::default()
+        })
+        .unwrap();
+        let graph = knn_graph(data.features(), KnnConfig::with_k(5)).unwrap();
+        (data, graph)
+    }
+
+    #[test]
+    fn pruned_and_unpruned_searches_agree() {
+        // Lemma 7 safety: pruning never changes the returned top-k set.
+        let (_, graph) = coil_graph();
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        for query in [0usize, 17, 40, 90] {
+            for k in [1usize, 5, 10] {
+                let (pruned, stats_p) = index
+                    .search_with_stats(query, k, SearchMode::Pruned)
+                    .unwrap();
+                let (unpruned, _) = index
+                    .search_with_stats(query, k, SearchMode::NoPruning)
+                    .unwrap();
+                let (full, _) = index
+                    .search_with_stats(query, k, SearchMode::FullSubstitution)
+                    .unwrap();
+                assert_eq!(pruned.nodes(), unpruned.nodes(), "query {query}, k {k}");
+                assert_eq!(pruned.nodes(), full.nodes(), "query {query}, k {k}");
+                assert!(stats_p.nodes_scored <= index.num_nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_work_on_clustered_graphs() {
+        let (_, graph) = coil_graph();
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        let mut total_pruned = 0usize;
+        let mut total_considered = 0usize;
+        for query in (0..index.num_nodes()).step_by(9) {
+            let (_, stats) = index
+                .search_with_stats(query, 5, SearchMode::Pruned)
+                .unwrap();
+            total_pruned += stats.clusters_pruned;
+            total_considered += stats.clusters_considered;
+        }
+        assert!(total_considered > 0);
+        assert!(
+            total_pruned > 0,
+            "expected at least some clusters to be pruned ({total_pruned}/{total_considered})"
+        );
+    }
+
+    #[test]
+    fn approximate_scores_track_the_exact_solution() {
+        let g = clique_chain();
+        let params = MrParams::new(0.9).unwrap();
+        let exact = InverseSolver::new(&g, params).unwrap();
+        let index = MogulIndex::build(
+            &g,
+            MogulConfig {
+                params,
+                ..MogulConfig::default()
+            },
+        )
+        .unwrap();
+        for query in [0usize, 7, 14] {
+            let approx = index.all_scores(query).unwrap();
+            let reference = exact.scores(query).unwrap();
+            let err = mogul_sparse::vector::max_abs_diff(&approx, &reference).unwrap();
+            assert!(err < 0.02, "query {query}: approximation error {err}");
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_inverse_solver_exactly() {
+        let g = clique_chain();
+        let params = MrParams::default();
+        let exact = InverseSolver::new(&g, params).unwrap();
+        let mogul_e = MogulIndex::build(
+            &g,
+            MogulConfig {
+                params,
+                ..MogulConfig::exact()
+            },
+        )
+        .unwrap();
+        assert_eq!(mogul_e.name(), "MogulE");
+        for query in 0..g.num_nodes() {
+            let a = mogul_e.all_scores(query).unwrap();
+            let b = exact.scores(query).unwrap();
+            assert!(
+                mogul_sparse::vector::max_abs_diff(&a, &b).unwrap() < 1e-9,
+                "MogulE must be exact (query {query})"
+            );
+            // The returned set is a valid top-4 of the exact scores: every
+            // selected node scores at least as high (up to fp noise from the
+            // dense inverse) as the true 4th-best non-query node.
+            let top_a = mogul_e.top_k(query, 4).unwrap();
+            let mut reference: Vec<f64> = b
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != query)
+                .map(|(_, &s)| s)
+                .collect();
+            reference.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            let kth_best = reference[3];
+            for item in top_a.items() {
+                assert!(
+                    b[item.node] >= kth_best - 1e-9,
+                    "query {query}: node {} (exact score {}) is not a valid top-4 member (threshold {kth_best})",
+                    item.node,
+                    b[item.node]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retrieval_stays_within_the_query_clique() {
+        let g = clique_chain();
+        let index = MogulIndex::build(&g, MogulConfig::default()).unwrap();
+        let top = index.search(2, 4).unwrap();
+        assert_eq!(top.len(), 4);
+        assert!(!top.contains(2));
+        for item in top.items() {
+            assert!(item.node < 5, "top-4 must stay inside the query clique");
+        }
+    }
+
+    #[test]
+    fn weighted_multi_node_queries_blend_results() {
+        let g = clique_chain();
+        let index = MogulIndex::build(&g, MogulConfig::default()).unwrap();
+        // Query weights concentrated on clique 0 should retrieve clique 0.
+        let (top, _) = index
+            .search_weighted(&[(0, 0.6), (1, 0.4)], 3, SearchMode::Pruned)
+            .unwrap();
+        for item in top.items() {
+            assert!(item.node < 5);
+        }
+        // Invalid weights are rejected.
+        assert!(index
+            .search_weighted(&[(0, f64::NAN)], 3, SearchMode::Pruned)
+            .is_err());
+        assert!(index
+            .search_weighted(&[(999, 1.0)], 3, SearchMode::Pruned)
+            .is_err());
+    }
+
+    #[test]
+    fn ranker_interface_and_validation() {
+        let g = clique_chain();
+        let index = MogulIndex::build(&g, MogulConfig::default()).unwrap();
+        assert_eq!(index.name(), "Mogul");
+        assert_eq!(Ranker::num_nodes(&index), 15);
+        assert!(index.search(99, 3).is_err());
+        assert!(index.search(0, 0).is_err());
+        let scores = index.scores(0).unwrap();
+        assert_eq!(scores.len(), 15);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn scores_are_query_dominated_and_nonnegative_on_knn_graphs() {
+        let (_, graph) = coil_graph();
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        let scores = index.all_scores(10).unwrap();
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((scores[10] - max).abs() < 1e-9, "query should score highest");
+        // Approximation can introduce small negative values but nothing large.
+        assert!(scores.iter().all(|&s| s > -1e-3));
+    }
+
+    #[test]
+    fn retrieval_precision_against_ground_truth_labels() {
+        let (data, graph) = coil_graph();
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for query in (0..data.len()).step_by(7) {
+            let top = index.search(query, 5).unwrap();
+            for node in top.nodes() {
+                total += 1;
+                if data.label(node) == data.label(query) {
+                    correct += 1;
+                }
+            }
+        }
+        let precision = correct as f64 / total as f64;
+        assert!(
+            precision > 0.9,
+            "retrieval precision should exceed 90% as in the paper, got {precision}"
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Out-of-sample queries (Section 4.6.2 of the paper).
+//!
+//! When the query image is not part of the database, Mogul does **not**
+//! rebuild the k-NN graph or the factorization. Instead the query vector `q`
+//! is populated with the query's nearest database neighbours: the nearest
+//! cluster is found through per-cluster average features (centroids), the
+//! neighbours are drawn from that cluster, and their heat-kernel similarities
+//! become the weights of a multi-node query vector processed by the ordinary
+//! Algorithm 2 search. Both phases are `O(n)`; Table 2 of the paper breaks
+//! the total time into exactly these two parts.
+
+use crate::mogul::{MogulIndex, SearchMode, SearchStats};
+use crate::ranking::{check_k, TopKResult};
+use crate::{CoreError, Result};
+use std::time::Instant;
+
+/// Configuration of the out-of-sample query path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutOfSampleConfig {
+    /// How many database neighbours form the query vector.
+    pub num_neighbors: usize,
+    /// How many nearest clusters (by centroid distance) are scanned when
+    /// collecting neighbours. 1 reproduces the paper exactly; larger values
+    /// trade a little speed for robustness on fragmented clusterings.
+    pub cluster_probes: usize,
+}
+
+impl Default for OutOfSampleConfig {
+    fn default() -> Self {
+        OutOfSampleConfig {
+            num_neighbors: 5,
+            cluster_probes: 1,
+        }
+    }
+}
+
+/// Result of one out-of-sample query, including the timing breakdown that
+/// Table 2 of the paper reports.
+#[derive(Debug, Clone)]
+pub struct OutOfSampleResult {
+    /// Top-k database nodes.
+    pub top_k: TopKResult,
+    /// Database nodes used to form the query vector (nearest first).
+    pub neighbors: Vec<usize>,
+    /// Seconds spent finding the nearest cluster and neighbours.
+    pub nearest_neighbor_secs: f64,
+    /// Seconds spent in the top-k search itself.
+    pub top_k_secs: f64,
+    /// Work counters of the top-k search.
+    pub stats: SearchStats,
+}
+
+impl OutOfSampleResult {
+    /// Total query time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.nearest_neighbor_secs + self.top_k_secs
+    }
+}
+
+/// An out-of-sample query index: a [`MogulIndex`] plus the database features
+/// and per-cluster centroids.
+#[derive(Debug, Clone)]
+pub struct OutOfSampleIndex {
+    index: MogulIndex,
+    features: Vec<Vec<f64>>,
+    /// Centroid of each ordering cluster (empty clusters get an empty vector).
+    centroids: Vec<Vec<f64>>,
+    /// Members (original node ids) of each ordering cluster.
+    members: Vec<Vec<usize>>,
+    config: OutOfSampleConfig,
+}
+
+impl OutOfSampleIndex {
+    /// Attach database features to a prebuilt [`MogulIndex`].
+    pub fn new(
+        index: MogulIndex,
+        features: Vec<Vec<f64>>,
+        config: OutOfSampleConfig,
+    ) -> Result<Self> {
+        if features.len() != index.num_nodes() {
+            return Err(CoreError::InvalidInput(format!(
+                "index covers {} nodes but {} feature vectors were supplied",
+                index.num_nodes(),
+                features.len()
+            )));
+        }
+        if config.num_neighbors == 0 {
+            return Err(CoreError::InvalidInput(
+                "out-of-sample queries need at least one neighbour".into(),
+            ));
+        }
+        let dim = features.first().map_or(0, |f| f.len());
+        for (i, f) in features.iter().enumerate() {
+            if f.len() != dim {
+                return Err(CoreError::InvalidInput(format!(
+                    "feature {i} has dimension {} but expected {dim}",
+                    f.len()
+                )));
+            }
+        }
+
+        // Cluster membership and centroids in the original node id space.
+        let ordering = index.ordering();
+        let num_clusters = ordering.num_clusters();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+        for permuted in 0..ordering.len() {
+            let cluster = ordering.cluster_of_permuted(permuted);
+            members[cluster].push(ordering.permutation.old_index(permuted));
+        }
+        let mut centroids = Vec::with_capacity(num_clusters);
+        for cluster_members in &members {
+            if cluster_members.is_empty() || dim == 0 {
+                centroids.push(Vec::new());
+                continue;
+            }
+            let mut centroid = vec![0.0; dim];
+            for &node in cluster_members {
+                for (c, v) in centroid.iter_mut().zip(features[node].iter()) {
+                    *c += v;
+                }
+            }
+            for c in centroid.iter_mut() {
+                *c /= cluster_members.len() as f64;
+            }
+            centroids.push(centroid);
+        }
+
+        Ok(OutOfSampleIndex {
+            index,
+            features,
+            centroids,
+            members,
+            config,
+        })
+    }
+
+    /// The wrapped Mogul index.
+    pub fn index(&self) -> &MogulIndex {
+        &self.index
+    }
+
+    /// Answer an out-of-sample query given its raw feature vector.
+    pub fn query(&self, feature: &[f64], k: usize) -> Result<OutOfSampleResult> {
+        check_k(k)?;
+        let dim = self.features.first().map_or(0, |f| f.len());
+        if feature.len() != dim {
+            return Err(CoreError::DimensionMismatch {
+                op: "out-of-sample query feature",
+                left: (1, dim),
+                right: (1, feature.len()),
+            });
+        }
+        if !feature.iter().all(|v| v.is_finite()) {
+            return Err(CoreError::InvalidInput(
+                "query feature contains non-finite values".into(),
+            ));
+        }
+
+        // Phase 1: nearest cluster(s) by centroid, then nearest neighbours
+        // inside them.
+        let nn_start = Instant::now();
+        let mut cluster_order: Vec<(usize, f64)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(idx, c)| {
+                (
+                    idx,
+                    mogul_sparse::vector::squared_euclidean_unchecked(feature, c),
+                )
+            })
+            .collect();
+        cluster_order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        if cluster_order.is_empty() {
+            return Err(CoreError::InvalidInput(
+                "the database holds no non-empty clusters".into(),
+            ));
+        }
+        let probes = self.config.cluster_probes.max(1).min(cluster_order.len());
+        let mut candidates: Vec<usize> = Vec::new();
+        for &(cluster, _) in cluster_order.iter().take(probes) {
+            candidates.extend(self.members[cluster].iter().copied());
+        }
+        let mut scored: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .map(|node| {
+                (
+                    node,
+                    mogul_sparse::vector::squared_euclidean_unchecked(feature, &self.features[node])
+                        .sqrt(),
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(self.config.num_neighbors);
+        // Heat-kernel weights over the neighbours, normalized to sum 1.
+        let sigma = {
+            let mean: f64 =
+                scored.iter().map(|&(_, d)| d).sum::<f64>() / scored.len().max(1) as f64;
+            mean.max(1e-12)
+        };
+        let mut weights: Vec<(usize, f64)> = scored
+            .iter()
+            .map(|&(node, d)| (node, (-d * d / (2.0 * sigma * sigma)).exp()))
+            .collect();
+        let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+        if total > 1e-300 {
+            for w in weights.iter_mut() {
+                w.1 /= total;
+            }
+        } else {
+            let uniform = 1.0 / weights.len().max(1) as f64;
+            for w in weights.iter_mut() {
+                w.1 = uniform;
+            }
+        }
+        let nearest_neighbor_secs = nn_start.elapsed().as_secs_f64();
+
+        // Phase 2: ordinary Mogul search with the weighted query vector.
+        let search_start = Instant::now();
+        let (top_k, stats) = self
+            .index
+            .search_weighted(&weights, k, SearchMode::Pruned)?;
+        let top_k_secs = search_start.elapsed().as_secs_f64();
+
+        Ok(OutOfSampleResult {
+            top_k,
+            neighbors: scored.iter().map(|&(node, _)| node).collect(),
+            nearest_neighbor_secs,
+            top_k_secs,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mogul::MogulConfig;
+    use mogul_data::coil::{coil_like, CoilLikeConfig};
+    use mogul_graph::knn::{knn_graph, KnnConfig};
+
+    fn build_index() -> (mogul_data::Dataset, Vec<(Vec<f64>, usize)>, OutOfSampleIndex) {
+        let data = coil_like(&CoilLikeConfig {
+            num_objects: 6,
+            poses_per_object: 16,
+            dim: 12,
+            noise: 0.02,
+            ..Default::default()
+        })
+        .unwrap();
+        let (db, queries) = data.split_out_queries(6, 11).unwrap();
+        let graph = knn_graph(db.features(), KnnConfig::with_k(5)).unwrap();
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        let oos = OutOfSampleIndex::new(
+            index,
+            db.features().to_vec(),
+            OutOfSampleConfig::default(),
+        )
+        .unwrap();
+        (db, queries, oos)
+    }
+
+    #[test]
+    fn out_of_sample_retrieval_finds_the_right_object() {
+        let (db, queries, oos) = build_index();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (feature, label) in &queries {
+            let result = oos.query(feature, 5).unwrap();
+            assert_eq!(result.top_k.len(), 5);
+            assert!(!result.neighbors.is_empty());
+            assert!(result.total_secs() >= 0.0);
+            for node in result.top_k.nodes() {
+                total += 1;
+                if db.label(node) == *label {
+                    correct += 1;
+                }
+            }
+        }
+        let precision = correct as f64 / total as f64;
+        assert!(
+            precision > 0.7,
+            "out-of-sample retrieval precision too low: {precision}"
+        );
+    }
+
+    #[test]
+    fn timing_breakdown_is_reported() {
+        let (_, queries, oos) = build_index();
+        let result = oos.query(&queries[0].0, 3).unwrap();
+        assert!(result.nearest_neighbor_secs >= 0.0);
+        assert!(result.top_k_secs >= 0.0);
+        assert!(result.total_secs() >= result.top_k_secs);
+    }
+
+    #[test]
+    fn neighbors_come_from_one_or_few_clusters() {
+        let (_, queries, oos) = build_index();
+        let result = oos.query(&queries[1].0, 4).unwrap();
+        assert!(result.neighbors.len() <= OutOfSampleConfig::default().num_neighbors);
+        // All neighbours are valid database nodes.
+        for &n in &result.neighbors {
+            assert!(n < oos.index().num_nodes());
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let (db, queries, oos) = build_index();
+        // Wrong feature dimension.
+        assert!(oos.query(&[1.0, 2.0], 3).is_err());
+        // Non-finite feature.
+        let mut bad = queries[0].0.clone();
+        bad[0] = f64::NAN;
+        assert!(oos.query(&bad, 3).is_err());
+        // k = 0.
+        assert!(oos.query(&queries[0].0, 0).is_err());
+
+        // Mismatched feature count at construction.
+        let graph = knn_graph(db.features(), KnnConfig::with_k(5)).unwrap();
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        assert!(OutOfSampleIndex::new(
+            index.clone(),
+            db.features()[..3].to_vec(),
+            OutOfSampleConfig::default()
+        )
+        .is_err());
+        // Zero neighbours.
+        assert!(OutOfSampleIndex::new(
+            index,
+            db.features().to_vec(),
+            OutOfSampleConfig {
+                num_neighbors: 0,
+                cluster_probes: 1
+            }
+        )
+        .is_err());
+    }
+}

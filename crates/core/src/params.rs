@@ -1,0 +1,55 @@
+//! Shared Manifold Ranking parameters.
+
+use crate::{CoreError, Result};
+
+/// Global Manifold Ranking parameters shared by every solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrParams {
+    /// The smoothing parameter `α` of the cost function (Equation (1)); the
+    /// paper uses `α = 0.99` following Zhou et al.
+    pub alpha: f64,
+}
+
+impl Default for MrParams {
+    fn default() -> Self {
+        MrParams { alpha: 0.99 }
+    }
+}
+
+impl MrParams {
+    /// Create parameters with the given `α`, validating `0 < α < 1`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if alpha.is_nan() || alpha <= 0.0 || alpha >= 1.0 {
+            return Err(CoreError::InvalidInput(format!(
+                "alpha must lie strictly between 0 and 1, got {alpha}"
+            )));
+        }
+        Ok(MrParams { alpha })
+    }
+
+    /// The `(1 − α)` factor that scales the query vector in Equation (2).
+    pub fn query_scale(&self) -> f64 {
+        1.0 - self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = MrParams::default();
+        assert_eq!(p.alpha, 0.99);
+        assert!((p.query_scale() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MrParams::new(0.5).is_ok());
+        assert!(MrParams::new(0.0).is_err());
+        assert!(MrParams::new(1.0).is_err());
+        assert!(MrParams::new(-1.0).is_err());
+        assert!(MrParams::new(f64::NAN).is_err());
+    }
+}

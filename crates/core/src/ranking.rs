@@ -1,0 +1,171 @@
+//! Ranking results and the common solver interface.
+
+use crate::{CoreError, Result};
+
+/// A single ranked node with its (approximate or exact) Manifold Ranking
+/// score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedNode {
+    /// Original node id in the k-NN graph.
+    pub node: usize,
+    /// Ranking score (larger is more relevant).
+    pub score: f64,
+}
+
+/// An ordered top-k result (descending score; ties broken by node id).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TopKResult {
+    items: Vec<RankedNode>,
+}
+
+impl TopKResult {
+    /// Build a result from already-ranked items (they are re-sorted
+    /// defensively so every constructor yields the same ordering).
+    pub fn new(mut items: Vec<RankedNode>) -> Self {
+        items.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
+        });
+        TopKResult { items }
+    }
+
+    /// Build the top-k result from a full score vector.
+    ///
+    /// `exclude` optionally removes one node (typically the query itself,
+    /// which always ranks first) before taking the top k.
+    pub fn from_scores(scores: &[f64], k: usize, exclude: Option<usize>) -> Self {
+        let mut items: Vec<RankedNode> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != exclude)
+            .map(|(node, &score)| RankedNode { node, score })
+            .collect();
+        items.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
+        });
+        items.truncate(k);
+        TopKResult { items }
+    }
+
+    /// Ranked items, best first.
+    pub fn items(&self) -> &[RankedNode] {
+        &self.items
+    }
+
+    /// Node ids in rank order.
+    pub fn nodes(&self) -> Vec<usize> {
+        self.items.iter().map(|r| r.node).collect()
+    }
+
+    /// Number of returned nodes.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when `node` appears anywhere in the result.
+    pub fn contains(&self, node: usize) -> bool {
+        self.items.iter().any(|r| r.node == node)
+    }
+
+    /// Score of `node` if it appears in the result.
+    pub fn score_of(&self, node: usize) -> Option<f64> {
+        self.items.iter().find(|r| r.node == node).map(|r| r.score)
+    }
+}
+
+/// The interface shared by every top-k Manifold Ranking solver in this crate.
+pub trait Ranker {
+    /// Human-readable solver name used in experiment reports
+    /// ("Mogul", "EMR", "FMR", "Iterative", "Inverse", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of nodes in the underlying graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Return the top-k nodes for a query node that is part of the database.
+    /// The query node itself is excluded from the result.
+    fn top_k(&self, query: usize, k: usize) -> Result<TopKResult>;
+
+    /// Full ranking-score vector for a query node (may be approximate).
+    fn scores(&self, query: usize) -> Result<Vec<f64>>;
+}
+
+/// Validate that a query index is inside the graph.
+pub(crate) fn check_query(query: usize, n: usize) -> Result<()> {
+    if query >= n {
+        return Err(CoreError::IndexOutOfBounds {
+            index: (query, 0),
+            shape: (n, 1),
+        });
+    }
+    Ok(())
+}
+
+/// Validate that `k` is positive.
+pub(crate) fn check_k(k: usize) -> Result<()> {
+    if k == 0 {
+        return Err(CoreError::InvalidInput(
+            "the number of requested answer nodes k must be at least 1".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_scores_orders_and_truncates() {
+        let scores = [0.1, 0.9, 0.5, 0.9, 0.0];
+        let top = TopKResult::from_scores(&scores, 3, None);
+        assert_eq!(top.nodes(), vec![1, 3, 2]);
+        assert_eq!(top.len(), 3);
+        assert!(top.contains(2));
+        assert!(!top.contains(0));
+        assert_eq!(top.score_of(2), Some(0.5));
+        assert_eq!(top.score_of(4), None);
+    }
+
+    #[test]
+    fn exclusion_removes_query() {
+        let scores = [0.9, 0.1, 0.5];
+        let top = TopKResult::from_scores(&scores, 2, Some(0));
+        assert_eq!(top.nodes(), vec![2, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let scores = [0.3, 0.2];
+        let top = TopKResult::from_scores(&scores, 10, None);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn new_resorts_items() {
+        let top = TopKResult::new(vec![
+            RankedNode { node: 2, score: 0.1 },
+            RankedNode { node: 1, score: 0.7 },
+        ]);
+        assert_eq!(top.nodes(), vec![1, 2]);
+        assert!(!top.is_empty());
+    }
+
+    #[test]
+    fn validators() {
+        assert!(check_query(2, 3).is_ok());
+        assert!(check_query(3, 3).is_err());
+        assert!(check_k(1).is_ok());
+        assert!(check_k(0).is_err());
+    }
+}

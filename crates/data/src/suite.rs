@@ -1,0 +1,169 @@
+//! The standard four-dataset evaluation suite.
+//!
+//! The paper's experiments always sweep the same four datasets in increasing
+//! size order: COIL-100 (7.2k) → PubFig (58.8k) → NUS-WIDE (267k) → INRIA
+//! (1M). This module reproduces that sweep with the synthetic generators at a
+//! configurable scale so the same *relative* size progression (roughly one
+//! order of magnitude overall) is retained while staying laptop-friendly.
+
+use crate::coil::{coil_like, CoilLikeConfig};
+use crate::dataset::Dataset;
+use crate::faces::{attribute_like, AttributeLikeConfig};
+use crate::sift::{sift_like, SiftLikeConfig};
+use crate::web::{web_like, WebLikeConfig};
+use crate::Result;
+
+/// How large the synthetic stand-ins for the paper's datasets should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Tiny datasets for unit/integration tests (hundreds of points).
+    Tiny,
+    /// Small datasets for quick experiments (≈0.5k–3k points).
+    Small,
+    /// Medium datasets for the benchmark runs reported in EXPERIMENTS.md
+    /// (≈1k–12k points).
+    Medium,
+    /// Larger datasets for scalability measurements (≈2k–40k points).
+    Large,
+}
+
+impl SuiteScale {
+    /// Multiplier applied to the base sizes of each dataset.
+    fn factor(self) -> f64 {
+        match self {
+            SuiteScale::Tiny => 0.25,
+            SuiteScale::Small => 1.0,
+            SuiteScale::Medium => 4.0,
+            SuiteScale::Large => 12.0,
+        }
+    }
+}
+
+/// A named dataset specification of the standard suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Display name matching the paper's dataset (with a `-like` suffix).
+    pub name: &'static str,
+    /// Name of the real dataset it substitutes.
+    pub substitutes_for: &'static str,
+    /// The generated dataset.
+    pub dataset: Dataset,
+}
+
+fn scaled(base: usize, factor: f64, min: usize) -> usize {
+    ((base as f64 * factor).round() as usize).max(min)
+}
+
+/// Build the four standard datasets in the paper's size order.
+pub fn standard_suite(scale: SuiteScale) -> Result<Vec<DatasetSpec>> {
+    let f = scale.factor();
+
+    let coil = coil_like(&CoilLikeConfig {
+        num_objects: scaled(20, f, 5),
+        poses_per_object: 24,
+        dim: 32,
+        ring_radius: 1.0,
+        center_spread: 2.0,
+        noise: 0.02,
+        seed: 7_200,
+    })?;
+
+    let pubfig = attribute_like(&AttributeLikeConfig {
+        num_people: scaled(30, f, 8),
+        num_points: scaled(800, f, 160),
+        dim: 73,
+        within_spread: 0.3,
+        between_spread: 1.0,
+        imbalance: 0.8,
+        seed: 58_797,
+    })?;
+
+    let nuswide = web_like(&WebLikeConfig {
+        num_points: scaled(1500, f, 300),
+        num_topics: scaled(25, f, 8),
+        dim: 50,
+        segment_length: 4.0,
+        noise: 0.05,
+        background_fraction: 0.1,
+        spread: 3.0,
+        seed: 267_465,
+    })?;
+
+    let inria = sift_like(&SiftLikeConfig {
+        num_points: scaled(3000, f, 600),
+        dim: 64,
+        num_words: scaled(40, f, 10),
+        cells_per_word: 4,
+        cell_spread: 6.0,
+        word_spread: 20.0,
+        max_value: 255.0,
+        seed: 1_000_000,
+    })?;
+
+    Ok(vec![
+        DatasetSpec {
+            name: "COIL-100-like",
+            substitutes_for: "COIL-100 (7,200 images, 100 objects x 72 poses)",
+            dataset: coil,
+        },
+        DatasetSpec {
+            name: "PubFig-like",
+            substitutes_for: "PubFig (58,797 images, 200 people, 73-D attributes)",
+            dataset: pubfig,
+        },
+        DatasetSpec {
+            name: "NUS-WIDE-like",
+            substitutes_for: "NUS-WIDE (267,465 images, 150-D color moments)",
+            dataset: nuswide,
+        },
+        DatasetSpec {
+            name: "INRIA-like",
+            substitutes_for: "INRIA/BIGANN (1,000,000 128-D SIFT descriptors)",
+            dataset: inria,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_increase_like_the_paper() {
+        let suite = standard_suite(SuiteScale::Tiny).unwrap();
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].name, "COIL-100-like");
+        assert_eq!(suite[3].name, "INRIA-like");
+        // Sizes are non-decreasing across the sweep (the paper's property
+        // "graph sizes increase in the order ...").
+        for w in suite.windows(2) {
+            assert!(
+                w[0].dataset.len() <= w[1].dataset.len(),
+                "{} ({}) should not exceed {} ({})",
+                w[0].name,
+                w[0].dataset.len(),
+                w[1].name,
+                w[1].dataset.len()
+            );
+        }
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        let tiny = standard_suite(SuiteScale::Tiny).unwrap();
+        let small = standard_suite(SuiteScale::Small).unwrap();
+        for (t, s) in tiny.iter().zip(small.iter()) {
+            assert!(t.dataset.len() <= s.dataset.len());
+        }
+    }
+
+    #[test]
+    fn every_dataset_has_labels_and_features() {
+        for spec in standard_suite(SuiteScale::Tiny).unwrap() {
+            assert!(!spec.dataset.is_empty());
+            assert!(spec.dataset.dim() >= 32);
+            assert!(spec.dataset.num_classes() >= 2);
+            assert!(!spec.substitutes_for.is_empty());
+        }
+    }
+}

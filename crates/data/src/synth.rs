@@ -1,0 +1,150 @@
+//! Low-level synthetic-geometry helpers shared by the dataset generators.
+//!
+//! All generators are deterministic given their seed; randomness comes from
+//! `rand`'s `StdRng`, and Gaussian samples are produced with the Box–Muller
+//! transform so no extra distribution crate is needed.
+
+use rand::Rng;
+
+/// Draw one standard-normal sample using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fill a vector with i.i.d. normal samples of the given standard deviation.
+pub fn normal_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize, std_dev: f64) -> Vec<f64> {
+    (0..dim).map(|_| standard_normal(rng) * std_dev).collect()
+}
+
+/// A random unit vector in `dim` dimensions.
+pub fn random_unit_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vec<f64> {
+    loop {
+        let mut v = normal_vector(rng, dim, 1.0);
+        let norm = mogul_sparse::vector::norm2(&v);
+        if norm > 1e-9 {
+            for x in v.iter_mut() {
+                *x /= norm;
+            }
+            return v;
+        }
+    }
+}
+
+/// A pair of orthonormal vectors spanning a random 2-D plane in `dim`
+/// dimensions (`dim ≥ 2`).
+pub fn random_orthonormal_pair<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> (Vec<f64>, Vec<f64>) {
+    let u = random_unit_vector(rng, dim);
+    loop {
+        let mut v = random_unit_vector(rng, dim);
+        // Gram-Schmidt against u.
+        let proj = mogul_sparse::vector::dot_unchecked(&u, &v);
+        for (vi, ui) in v.iter_mut().zip(u.iter()) {
+            *vi -= proj * ui;
+        }
+        let norm = mogul_sparse::vector::norm2(&v);
+        if norm > 1e-6 {
+            for x in v.iter_mut() {
+                *x /= norm;
+            }
+            return (u, v);
+        }
+    }
+}
+
+/// `a + b` elementwise (panics on length mismatch; internal helper).
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// A point on a circle of radius `radius` in the plane spanned by `(u, v)`
+/// centred at `center`, at angle `theta`, with additive Gaussian noise.
+pub fn ring_point<R: Rng + ?Sized>(
+    rng: &mut R,
+    center: &[f64],
+    u: &[f64],
+    v: &[f64],
+    radius: f64,
+    theta: f64,
+    noise: f64,
+) -> Vec<f64> {
+    let mut point = Vec::with_capacity(center.len());
+    let (sin, cos) = theta.sin_cos();
+    for i in 0..center.len() {
+        let coord = center[i] + radius * (cos * u[i] + sin * v[i]) + standard_normal(rng) * noise;
+        point.push(coord);
+    }
+    point
+}
+
+/// A point on a straight 1-D segment from `start` along `direction`
+/// (unit vector) at arclength position `t`, with additive Gaussian noise.
+pub fn segment_point<R: Rng + ?Sized>(
+    rng: &mut R,
+    start: &[f64],
+    direction: &[f64],
+    t: f64,
+    noise: f64,
+) -> Vec<f64> {
+    start
+        .iter()
+        .zip(direction.iter())
+        .map(|(s, d)| s + t * d + standard_normal(rng) * noise)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_samples_have_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn unit_vectors_are_unit_and_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = random_unit_vector(&mut rng, 10);
+        assert!((mogul_sparse::vector::norm2(&u) - 1.0).abs() < 1e-9);
+        let (a, b) = random_orthonormal_pair(&mut rng, 10);
+        assert!((mogul_sparse::vector::norm2(&a) - 1.0).abs() < 1e-9);
+        assert!((mogul_sparse::vector::norm2(&b) - 1.0).abs() < 1e-9);
+        assert!(mogul_sparse::vector::dot_unchecked(&a, &b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_points_lie_near_the_circle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let center = vec![0.0; 6];
+        let (u, v) = random_orthonormal_pair(&mut rng, 6);
+        let p = ring_point(&mut rng, &center, &u, &v, 2.0, 1.3, 0.0);
+        let radius = mogul_sparse::vector::norm2(&p);
+        assert!((radius - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_points_advance_along_direction() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let start = vec![1.0, 1.0, 1.0];
+        let dir = vec![1.0, 0.0, 0.0];
+        let p = segment_point(&mut rng, &start, &dir, 5.0, 0.0);
+        assert!((p[0] - 6.0).abs() < 1e-12);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_helper() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Figures 2, 3 and 4: accuracy and search time versus the number of EMR
+//! anchor points, on the COIL-like dataset with k = 5 answers.
+//!
+//! The three figures share the same sweep: for each anchor count `d` the
+//! experiment measures EMR's `P@k` against the inverse-matrix answer
+//! (Figure 2), its retrieval precision against ground-truth object labels
+//! (Figure 3) and its per-query search time (Figure 4). Mogul and MogulE do
+//! not depend on `d`, so they appear as flat reference lines, exactly as in
+//! the paper.
+
+use crate::metrics::{mean, precision_at_k, retrieval_precision};
+use crate::report::Table;
+use crate::scenarios::{Scenario, ScenarioConfig};
+use crate::timer::{format_secs, time_mean};
+use crate::Result;
+use mogul_core::{
+    EmrConfig, EmrSolver, InverseSolver, MogulConfig, MogulIndex, Ranker, TopKResult,
+};
+
+/// Options for the anchor sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnchorSweepOptions {
+    /// Anchor counts to sweep (the paper goes from 10 to 1000 on a log axis).
+    pub anchor_counts: Vec<usize>,
+    /// Number of answer nodes (the paper uses the top five).
+    pub k: usize,
+    /// Repetitions when averaging search time.
+    pub repetitions: usize,
+}
+
+impl Default for AnchorSweepOptions {
+    fn default() -> Self {
+        AnchorSweepOptions {
+            anchor_counts: vec![10, 20, 50, 100, 200, 400],
+            k: 5,
+            repetitions: 3,
+        }
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Method name ("Mogul", "MogulE" or "EMR(d)").
+    pub method: String,
+    /// Number of anchors (0 for the anchor-free methods).
+    pub anchors: usize,
+    /// Mean `P@k` against the inverse-matrix answer.
+    pub precision_at_k: f64,
+    /// Mean retrieval precision against ground-truth labels.
+    pub retrieval_precision: f64,
+    /// Mean per-query search time in seconds.
+    pub search_secs: f64,
+}
+
+/// Run the sweep on one scenario (the paper uses the COIL-100 dataset).
+pub fn run_sweep(
+    scenario: &Scenario,
+    config: &ScenarioConfig,
+    options: &AnchorSweepOptions,
+) -> Result<Vec<SweepPoint>> {
+    let params = config.params()?;
+    let labels = scenario.spec.dataset.labels();
+    let queries = &scenario.queries;
+    let k = options.k;
+
+    // Ground truth for P@k: the inverse-matrix top-k.
+    let inverse = InverseSolver::new(&scenario.graph, params)?;
+    let reference: Vec<TopKResult> = queries
+        .iter()
+        .map(|&q| inverse.top_k(q, k))
+        .collect::<Result<_>>()?;
+
+    let mut points = Vec::new();
+
+    // Anchor-free reference lines: Mogul and MogulE.
+    for exact in [false, true] {
+        let index = MogulIndex::build(
+            &scenario.graph,
+            MogulConfig {
+                params,
+                ..if exact {
+                    MogulConfig::exact()
+                } else {
+                    MogulConfig::default()
+                }
+            },
+        )?;
+        let mut p_at_k = Vec::new();
+        let mut retrieval = Vec::new();
+        for (qi, &q) in queries.iter().enumerate() {
+            let top = index.search(q, k)?;
+            p_at_k.push(precision_at_k(&top, &reference[qi]));
+            retrieval.push(retrieval_precision(&top, labels, labels[q])?);
+        }
+        let secs = time_mean(options.repetitions, || {
+            for &q in queries {
+                let _ = index.search(q, k).expect("mogul search");
+            }
+        }) / queries.len().max(1) as f64;
+        points.push(SweepPoint {
+            method: if exact { "MogulE" } else { "Mogul" }.to_string(),
+            anchors: 0,
+            precision_at_k: mean(&p_at_k),
+            retrieval_precision: mean(&retrieval),
+            search_secs: secs,
+        });
+    }
+
+    // EMR for every anchor count.
+    for &anchors in &options.anchor_counts {
+        let emr = EmrSolver::new(
+            scenario.spec.dataset.features(),
+            params,
+            EmrConfig::with_anchors(anchors),
+        )?;
+        let mut p_at_k = Vec::new();
+        let mut retrieval = Vec::new();
+        for (qi, &q) in queries.iter().enumerate() {
+            let top = emr.top_k(q, k)?;
+            p_at_k.push(precision_at_k(&top, &reference[qi]));
+            retrieval.push(retrieval_precision(&top, labels, labels[q])?);
+        }
+        let secs = time_mean(options.repetitions, || {
+            for &q in queries {
+                let _ = emr.top_k(q, k).expect("emr search");
+            }
+        }) / queries.len().max(1) as f64;
+        points.push(SweepPoint {
+            method: format!("EMR(d={anchors})"),
+            anchors,
+            precision_at_k: mean(&p_at_k),
+            retrieval_precision: mean(&retrieval),
+            search_secs: secs,
+        });
+    }
+    Ok(points)
+}
+
+/// Figure 2: P@k versus the number of anchor points.
+pub fn figure2_table(points: &[SweepPoint]) -> Table {
+    let mut table = Table::new(
+        "Figure 2 - P@k vs number of anchor points (top-5, COIL-like)",
+        &["method", "anchors", "P@k"],
+    );
+    for p in points {
+        table.add_row(vec![
+            p.method.clone(),
+            if p.anchors == 0 {
+                "-".into()
+            } else {
+                p.anchors.to_string()
+            },
+            format!("{:.3}", p.precision_at_k),
+        ]);
+    }
+    table
+}
+
+/// Figure 3: retrieval precision versus the number of anchor points.
+pub fn figure3_table(points: &[SweepPoint]) -> Table {
+    let mut table = Table::new(
+        "Figure 3 - retrieval precision vs number of anchor points (top-5, COIL-like)",
+        &["method", "anchors", "retrieval precision"],
+    );
+    for p in points {
+        table.add_row(vec![
+            p.method.clone(),
+            if p.anchors == 0 {
+                "-".into()
+            } else {
+                p.anchors.to_string()
+            },
+            format!("{:.3}", p.retrieval_precision),
+        ]);
+    }
+    table
+}
+
+/// Figure 4: search time versus the number of anchor points.
+pub fn figure4_table(points: &[SweepPoint]) -> Table {
+    let mut table = Table::new(
+        "Figure 4 - search time vs number of anchor points (top-5, COIL-like)",
+        &["method", "anchors", "search time", "seconds"],
+    );
+    for p in points {
+        table.add_row(vec![
+            p.method.clone(),
+            if p.anchors == 0 {
+                "-".into()
+            } else {
+                p.anchors.to_string()
+            },
+            format_secs(p.search_secs),
+            format!("{:.3e}", p.search_secs),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::limited_scenarios;
+    use mogul_data::suite::SuiteScale;
+
+    #[test]
+    fn sweep_produces_expected_series() {
+        let config = ScenarioConfig {
+            scale: SuiteScale::Tiny,
+            num_queries: 3,
+            ..Default::default()
+        };
+        let scenario = &limited_scenarios(&config, 1).unwrap()[0];
+        let options = AnchorSweepOptions {
+            anchor_counts: vec![5, 20],
+            k: 5,
+            repetitions: 1,
+        };
+        let points = run_sweep(scenario, &config, &options).unwrap();
+        assert_eq!(points.len(), 4); // Mogul, MogulE, EMR(5), EMR(20)
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.precision_at_k), "{p:?}");
+            assert!((0.0..=1.0).contains(&p.retrieval_precision), "{p:?}");
+            assert!(p.search_secs >= 0.0);
+        }
+        // MogulE is exact, so its P@k must be (near) perfect.
+        let mogul_e = points.iter().find(|p| p.method == "MogulE").unwrap();
+        assert!(mogul_e.precision_at_k > 0.95, "{mogul_e:?}");
+        // Mogul's retrieval precision should be high on the ring dataset.
+        let mogul = points.iter().find(|p| p.method == "Mogul").unwrap();
+        assert!(mogul.retrieval_precision > 0.8, "{mogul:?}");
+
+        let t2 = figure2_table(&points);
+        let t3 = figure3_table(&points);
+        let t4 = figure4_table(&points);
+        assert_eq!(t2.num_rows(), 4);
+        assert_eq!(t3.num_rows(), 4);
+        assert_eq!(t4.num_rows(), 4);
+        assert!(t2.to_string().contains("EMR(d=5)"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Figure 1: search time of every method on the four datasets.
+//!
+//! The paper reports wall-clock search time (precomputation excluded) of
+//! Mogul with k ∈ {5, 10, 15, 20}, EMR (d = 10 anchors), FMR (rank 250),
+//! the iterative method (tolerance 10⁻⁴) and the inverse-matrix approach.
+//! The inverse approach is skipped on the larger datasets — in the paper
+//! because of its `O(n²)` memory, here because of its `O(n³)` time at
+//! reproduction scale.
+
+use crate::report::Table;
+use crate::scenarios::{Scenario, ScenarioConfig};
+use crate::timer::{format_secs, time_mean};
+use crate::Result;
+use mogul_core::{
+    EmrConfig, EmrSolver, FmrConfig, FmrSolver, InverseSolver, IterativeConfig, IterativeSolver,
+    MogulConfig, MogulIndex, Ranker,
+};
+
+/// Options of the Figure 1 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Options {
+    /// Values of k for the Mogul(k) columns.
+    pub mogul_ks: Vec<usize>,
+    /// Number of EMR anchor points (the paper uses 10 in this figure).
+    pub emr_anchors: usize,
+    /// FMR low-rank target (the paper uses 250).
+    pub fmr_rank: usize,
+    /// Skip the dense Inverse baseline on datasets larger than this.
+    pub inverse_max_n: usize,
+    /// Skip FMR on datasets larger than this (its block solves degenerate
+    /// towards dense behaviour on badly partitioned graphs).
+    pub fmr_max_n: usize,
+    /// Repetitions per query when averaging search time.
+    pub repetitions: usize,
+}
+
+impl Default for Fig1Options {
+    fn default() -> Self {
+        Fig1Options {
+            mogul_ks: vec![5, 10, 15, 20],
+            emr_anchors: 10,
+            fmr_rank: 250,
+            inverse_max_n: 2_500,
+            fmr_max_n: 6_000,
+            repetitions: 3,
+        }
+    }
+}
+
+/// Run the Figure 1 measurement over the supplied scenarios.
+pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig1Options) -> Result<Table> {
+    let params = config.params()?;
+    let mut table = Table::new(
+        "Figure 1 - search time per query [wall clock]",
+        &["method", "dataset", "n", "search time", "seconds"],
+    );
+    table.add_note("Mogul(k): Algorithm 2 with pruning; precomputation excluded, as in the paper");
+
+    for scenario in scenarios {
+        let n = scenario.len();
+        let queries = &scenario.queries;
+
+        // --- Mogul(k) -------------------------------------------------------
+        let index = MogulIndex::build(
+            &scenario.graph,
+            MogulConfig {
+                params,
+                ..MogulConfig::default()
+            },
+        )?;
+        for &k in &options.mogul_ks {
+            let secs = time_mean(options.repetitions, || {
+                for &q in queries {
+                    let _ = index.search(q, k).expect("mogul search");
+                }
+            }) / queries.len().max(1) as f64;
+            add_time_row(&mut table, &format!("Mogul({k})"), scenario, n, secs);
+        }
+
+        // --- EMR -------------------------------------------------------------
+        let emr = EmrSolver::new(
+            scenario.spec.dataset.features(),
+            params,
+            EmrConfig::with_anchors(options.emr_anchors),
+        )?;
+        let secs = time_mean(options.repetitions, || {
+            for &q in queries {
+                let _ = emr.top_k(q, 5).expect("emr search");
+            }
+        }) / queries.len().max(1) as f64;
+        add_time_row(&mut table, "EMR", scenario, n, secs);
+
+        // --- FMR -------------------------------------------------------------
+        if n <= options.fmr_max_n {
+            let fmr = FmrSolver::new(
+                &scenario.graph,
+                params,
+                FmrConfig {
+                    rank: options.fmr_rank,
+                    ..FmrConfig::default()
+                },
+            )?;
+            let secs = time_mean(1, || {
+                for &q in queries {
+                    let _ = fmr.top_k(q, 5).expect("fmr search");
+                }
+            }) / queries.len().max(1) as f64;
+            add_time_row(&mut table, "FMR", scenario, n, secs);
+        } else {
+            add_skip_row(&mut table, "FMR", scenario, n);
+        }
+
+        // --- Iterative --------------------------------------------------------
+        let iterative = IterativeSolver::new(&scenario.graph, params, IterativeConfig::default())?;
+        let secs = time_mean(1, || {
+            for &q in queries {
+                let _ = iterative.top_k(q, 5).expect("iterative search");
+            }
+        }) / queries.len().max(1) as f64;
+        add_time_row(&mut table, "Iterative", scenario, n, secs);
+
+        // --- Inverse -----------------------------------------------------------
+        if n <= options.inverse_max_n {
+            let inverse = InverseSolver::new(&scenario.graph, params)?;
+            // The per-query cost of the Inverse approach is the full dense
+            // score computation; the paper additionally charges the inverse
+            // itself to the search, which we report as a note instead.
+            let (_, build_secs) = crate::timer::time_once(|| {
+                InverseSolver::new(&scenario.graph, params).expect("inverse build")
+            });
+            let secs = time_mean(1, || {
+                for &q in queries {
+                    let _ = inverse.top_k(q, 5).expect("inverse search");
+                }
+            }) / queries.len().max(1) as f64;
+            add_time_row(&mut table, "Inverse (per query)", scenario, n, secs);
+            add_time_row(
+                &mut table,
+                "Inverse (incl. inversion)",
+                scenario,
+                n,
+                secs + build_secs,
+            );
+        } else {
+            add_skip_row(&mut table, "Inverse", scenario, n);
+        }
+    }
+    Ok(table)
+}
+
+fn add_time_row(table: &mut Table, method: &str, scenario: &Scenario, n: usize, secs: f64) {
+    table.add_row(vec![
+        method.to_string(),
+        scenario.name().to_string(),
+        n.to_string(),
+        format_secs(secs),
+        format!("{secs:.3e}"),
+    ]);
+}
+
+fn add_skip_row(table: &mut Table, method: &str, scenario: &Scenario, n: usize) {
+    table.add_row(vec![
+        method.to_string(),
+        scenario.name().to_string(),
+        n.to_string(),
+        "skipped (too large)".to_string(),
+        "".to_string(),
+    ]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::limited_scenarios;
+    use mogul_data::suite::SuiteScale;
+
+    #[test]
+    fn produces_a_row_per_method_and_dataset() {
+        let config = ScenarioConfig {
+            scale: SuiteScale::Tiny,
+            num_queries: 2,
+            ..Default::default()
+        };
+        let scenarios = limited_scenarios(&config, 1).unwrap();
+        let options = Fig1Options {
+            repetitions: 1,
+            mogul_ks: vec![5, 10],
+            ..Default::default()
+        };
+        let table = run(&scenarios, &config, &options).unwrap();
+        // 2 Mogul rows + EMR + FMR + Iterative + 2 Inverse rows = 7.
+        assert_eq!(table.num_rows(), 7);
+        let rendered = table.to_string();
+        assert!(rendered.contains("Mogul(5)"));
+        assert!(rendered.contains("EMR"));
+        assert!(rendered.contains("Iterative"));
+        assert!(rendered.contains("Inverse"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 5: effect of the sparse structure and of the pruning estimation.
+//!
+//! The paper compares three configurations when retrieving the top five
+//! nodes: full Mogul (restricted substitution + pruning), Mogul without the
+//! estimation ("W/O estimation" — restricted substitution only) and a plain
+//! Incomplete-Cholesky solve that ignores the sparse structure entirely.
+
+use crate::report::Table;
+use crate::scenarios::{Scenario, ScenarioConfig};
+use crate::timer::{format_secs, time_mean};
+use crate::Result;
+use mogul_core::{MogulConfig, MogulIndex, SearchMode};
+
+/// Options of the pruning ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Options {
+    /// Number of answer nodes (the paper uses the top five).
+    pub k: usize,
+    /// Repetitions per query when averaging.
+    pub repetitions: usize,
+}
+
+impl Default for Fig5Options {
+    fn default() -> Self {
+        Fig5Options {
+            k: 5,
+            repetitions: 3,
+        }
+    }
+}
+
+/// Run the Figure 5 ablation over the supplied scenarios.
+pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig5Options) -> Result<Table> {
+    let params = config.params()?;
+    let mut table = Table::new(
+        "Figure 5 - effect of the pruning approach (top-5 search time)",
+        &[
+            "dataset",
+            "n",
+            "Mogul",
+            "W/O estimation",
+            "Incomplete Cholesky",
+            "pruned clusters / considered",
+        ],
+    );
+    for scenario in scenarios {
+        let index = MogulIndex::build(
+            &scenario.graph,
+            MogulConfig {
+                params,
+                ..MogulConfig::default()
+            },
+        )?;
+        let queries = &scenario.queries;
+        let mut mode_secs = [0.0f64; 3];
+        for (slot, mode) in [
+            SearchMode::Pruned,
+            SearchMode::NoPruning,
+            SearchMode::FullSubstitution,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            mode_secs[slot] = time_mean(options.repetitions, || {
+                for &q in queries {
+                    let _ = index
+                        .search_with_stats(q, options.k, mode)
+                        .expect("mogul search");
+                }
+            }) / queries.len().max(1) as f64;
+        }
+        // Pruning statistics (informative, matches the paper's discussion).
+        let mut pruned = 0usize;
+        let mut considered = 0usize;
+        for &q in queries {
+            let (_, stats) = index.search_with_stats(q, options.k, SearchMode::Pruned)?;
+            pruned += stats.clusters_pruned;
+            considered += stats.clusters_considered;
+        }
+        table.add_row(vec![
+            scenario.name().to_string(),
+            scenario.len().to_string(),
+            format_secs(mode_secs[0]),
+            format_secs(mode_secs[1]),
+            format_secs(mode_secs[2]),
+            format!("{pruned} / {considered}"),
+        ]);
+    }
+    table.add_note("Mogul ≤ W/O estimation ≤ Incomplete Cholesky is the shape reported in the paper");
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::limited_scenarios;
+    use mogul_data::suite::SuiteScale;
+
+    #[test]
+    fn table_has_one_row_per_dataset() {
+        let config = ScenarioConfig {
+            scale: SuiteScale::Tiny,
+            num_queries: 3,
+            ..Default::default()
+        };
+        let scenarios = limited_scenarios(&config, 2).unwrap();
+        let table = run(
+            &scenarios,
+            &config,
+            &Fig5Options {
+                repetitions: 1,
+                k: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(table.num_rows(), 2);
+        let rendered = table.to_string();
+        assert!(rendered.contains("COIL-100-like"));
+        assert!(rendered.contains("PubFig-like"));
+    }
+}

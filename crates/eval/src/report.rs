@@ -1,0 +1,114 @@
+//! Plain-text tables for the figure/table runners.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row; short rows are padded with empty cells, long rows
+    /// are truncated to the header width.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Append a free-text note rendered below the table.
+    pub fn add_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Access a cell (row, column) if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        writeln!(f, "| {} |", header_line.join(" | "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", rule.join("-|-"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut t = Table::new("Demo", &["dataset", "time"]);
+        t.add_row(vec!["COIL".into(), "1.0 ms".into()]);
+        t.add_row(vec!["INRIA".into()]); // padded
+        t.add_note("synthetic data");
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 1), Some("1.0 ms"));
+        assert_eq!(t.cell(1, 1), Some(""));
+        assert_eq!(t.cell(5, 0), None);
+        let rendered = t.to_string();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("COIL"));
+        assert!(rendered.contains("note: synthetic data"));
+        assert!(rendered.lines().count() >= 5);
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.title(), "Demo");
+    }
+}

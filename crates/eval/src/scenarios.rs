@@ -1,0 +1,147 @@
+//! Shared experiment setup: synthetic dataset → k-NN graph → query workload.
+
+use crate::Result;
+use mogul_core::MrParams;
+use mogul_data::suite::{standard_suite, DatasetSpec, SuiteScale};
+use mogul_graph::knn::{knn_graph, KnnConfig};
+use mogul_graph::Graph;
+
+/// Configuration shared by every experiment runner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Size of the synthetic stand-ins for the paper's four datasets.
+    pub scale: SuiteScale,
+    /// Number of nearest neighbours of the k-NN graph (the paper uses 5).
+    pub knn_k: usize,
+    /// Manifold Ranking `α` (the paper uses 0.99).
+    pub alpha: f64,
+    /// Number of query nodes sampled per dataset when averaging.
+    pub num_queries: usize,
+    /// Seed controlling query selection.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            scale: SuiteScale::Small,
+            knn_k: 5,
+            alpha: 0.99,
+            num_queries: 10,
+            seed: 2014,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Manifold Ranking parameters derived from the configuration.
+    pub fn params(&self) -> Result<MrParams> {
+        MrParams::new(self.alpha)
+    }
+}
+
+/// One prepared dataset: features, labels, k-NN graph and query workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The dataset specification (name + generated data).
+    pub spec: DatasetSpec,
+    /// The k-NN graph over the dataset's features.
+    pub graph: Graph,
+    /// In-database query nodes used for averaged measurements.
+    pub queries: Vec<usize>,
+}
+
+impl Scenario {
+    /// Build a scenario from a dataset specification.
+    pub fn build(spec: DatasetSpec, config: &ScenarioConfig) -> Result<Scenario> {
+        let graph = knn_graph(spec.dataset.features(), KnnConfig::with_k(config.knn_k))?;
+        let queries = pick_queries(spec.dataset.len(), config.num_queries, config.seed);
+        Ok(Scenario {
+            spec,
+            graph,
+            queries,
+        })
+    }
+
+    /// Dataset display name.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// Number of points / graph nodes.
+    pub fn len(&self) -> usize {
+        self.spec.dataset.len()
+    }
+
+    /// `true` when the dataset is empty (never the case for the suite).
+    pub fn is_empty(&self) -> bool {
+        self.spec.dataset.is_empty()
+    }
+}
+
+/// Deterministically spread `count` query indices over `0..n`.
+pub fn pick_queries(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    if n == 0 || count == 0 {
+        return Vec::new();
+    }
+    let count = count.min(n);
+    let offset = (seed as usize) % n;
+    (0..count)
+        .map(|i| (offset + i * n / count) % n)
+        .collect()
+}
+
+/// Build all four standard scenarios in the paper's size order.
+pub fn standard_scenarios(config: &ScenarioConfig) -> Result<Vec<Scenario>> {
+    standard_suite(config.scale)?
+        .into_iter()
+        .map(|spec| Scenario::build(spec, config))
+        .collect()
+}
+
+/// Build only the first `limit` standard scenarios (smallest datasets first);
+/// used by tests and by experiments that are too expensive for the larger
+/// datasets.
+pub fn limited_scenarios(config: &ScenarioConfig, limit: usize) -> Result<Vec<Scenario>> {
+    let mut specs = standard_suite(config.scale)?;
+    specs.truncate(limit);
+    specs
+        .into_iter()
+        .map(|spec| Scenario::build(spec, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_are_deterministic_and_in_range() {
+        let q = pick_queries(100, 10, 7);
+        assert_eq!(q.len(), 10);
+        assert!(q.iter().all(|&i| i < 100));
+        assert_eq!(q, pick_queries(100, 10, 7));
+        assert_ne!(q, pick_queries(100, 10, 8));
+        assert!(pick_queries(0, 5, 1).is_empty());
+        assert!(pick_queries(10, 0, 1).is_empty());
+        assert_eq!(pick_queries(3, 10, 0).len(), 3);
+    }
+
+    #[test]
+    fn limited_scenarios_build_graphs() {
+        let config = ScenarioConfig {
+            scale: SuiteScale::Tiny,
+            num_queries: 3,
+            ..Default::default()
+        };
+        let scenarios = limited_scenarios(&config, 1).unwrap();
+        assert_eq!(scenarios.len(), 1);
+        let s = &scenarios[0];
+        assert_eq!(s.name(), "COIL-100-like");
+        assert!(!s.is_empty());
+        assert_eq!(s.graph.num_nodes(), s.len());
+        assert!(s.graph.num_edges() > 0);
+        assert_eq!(s.queries.len(), 3);
+        assert!(config.params().is_ok());
+    }
+}

@@ -1,0 +1,70 @@
+//! Wall-clock measurement helpers.
+
+use std::time::Instant;
+
+/// Run `f` once and return its result together with the elapsed seconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Run `f` `iters` times and return the *mean* elapsed seconds per run
+/// (at least one run is always performed).
+pub fn time_mean(iters: usize, mut f: impl FnMut()) -> f64 {
+    let iters = iters.max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Format seconds compactly for the experiment tables: sub-millisecond values
+/// keep scientific precision, larger values switch to ms / s.
+pub fn format_secs(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.1} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value_and_duration() {
+        let (value, secs) = time_once(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn time_mean_averages() {
+        let mut count = 0usize;
+        let secs = time_mean(5, || count += 1);
+        assert_eq!(count, 5);
+        assert!(secs >= 0.0);
+        // Zero iterations still runs once.
+        let mut count = 0usize;
+        time_mean(0, || count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn formatting_ranges() {
+        assert!(format_secs(5e-10).ends_with("ns"));
+        assert!(format_secs(5e-5).ends_with("us"));
+        assert!(format_secs(5e-3).ends_with("ms"));
+        assert!(format_secs(2.5).ends_with('s'));
+        assert_eq!(format_secs(f64::NAN), "n/a");
+    }
+}

@@ -1,0 +1,313 @@
+//! Lloyd's k-means over dense feature vectors.
+//!
+//! Two consumers in the workspace need k-means: the EMR baseline selects its
+//! anchor points "from the data points by using the k-means algorithm"
+//! (Section 2 of the paper), and spectral clustering clusters the rows of the
+//! eigenvector embedding.
+
+use crate::clustering::labels::Clustering;
+use crate::{GraphError, Result};
+use mogul_sparse::vector::squared_euclidean_unchecked;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmeansConfig {
+    /// Number of clusters / centroids.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f64,
+    /// Seed for the k-means++ style initialization.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        KmeansConfig {
+            k: 8,
+            max_iter: 50,
+            tol: 1e-6,
+            seed: 42,
+        }
+    }
+}
+
+impl KmeansConfig {
+    /// Convenience constructor fixing only `k`.
+    pub fn with_k(k: usize) -> Self {
+        KmeansConfig {
+            k,
+            ..KmeansConfig::default()
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Cluster assignment of every point.
+    pub clustering: Clustering,
+    /// Final centroids (`k × dim`), one per cluster label.
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: seed.max(1).wrapping_mul(0x2545F4914F6CDD1D),
+        }
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// k-means++ style initialization: the first centroid is uniform, each later
+/// centroid is sampled proportionally to the squared distance from the
+/// closest already-chosen centroid.
+fn init_centroids(points: &[Vec<f64>], k: usize, rng: &mut XorShift64) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = (rng.next_u64() % n as u64) as usize;
+    centroids.push(points[first].clone());
+    let mut dist2: Vec<f64> = points
+        .iter()
+        .map(|p| squared_euclidean_unchecked(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let chosen = if total <= 1e-300 {
+            // All points coincide with existing centroids; pick uniformly.
+            (rng.next_u64() % n as u64) as usize
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut idx = n - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                if target <= d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+            }
+            idx
+        };
+        centroids.push(points[chosen].clone());
+        let new_c = centroids.last().unwrap();
+        for (d, p) in dist2.iter_mut().zip(points.iter()) {
+            let nd = squared_euclidean_unchecked(p, new_c);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// Run Lloyd's k-means on a set of points.
+///
+/// Empty clusters are re-seeded with the point farthest from its centroid so
+/// the requested `k` is always realized (as long as `k ≤ n`).
+pub fn kmeans(points: &[Vec<f64>], config: &KmeansConfig) -> Result<KmeansResult> {
+    if points.is_empty() {
+        return Err(GraphError::InvalidInput(
+            "k-means requires at least one point".into(),
+        ));
+    }
+    let dim = points[0].len();
+    if dim == 0 {
+        return Err(GraphError::InvalidInput(
+            "k-means requires non-empty feature vectors".into(),
+        ));
+    }
+    for (i, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(GraphError::InvalidInput(format!(
+                "point {i} has dimension {} but expected {dim}",
+                p.len()
+            )));
+        }
+        if !p.iter().all(|v| v.is_finite()) {
+            return Err(GraphError::InvalidInput(format!(
+                "point {i} contains non-finite values"
+            )));
+        }
+    }
+    let n = points.len();
+    if config.k == 0 {
+        return Err(GraphError::InvalidInput("k must be at least 1".into()));
+    }
+    let k = config.k.min(n);
+
+    let mut rng = XorShift64::new(config.seed);
+    let mut centroids = init_centroids(points, k, &mut rng);
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0usize;
+
+    for iter in 0..config.max_iter.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = squared_euclidean_unchecked(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            labels[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[labels[i]] += 1;
+            for (s, v) in sums[labels[i]].iter_mut().zip(p.iter()) {
+                *s += v;
+            }
+        }
+        // Re-seed empty clusters with the point farthest from its centroid.
+        for c in 0..k {
+            if counts[c] == 0 {
+                let (far_idx, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, squared_euclidean_unchecked(p, &centroids[labels[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .unwrap();
+                sums[c] = points[far_idx].clone();
+                counts[c] = 1;
+                labels[far_idx] = c;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            let mut new_centroid = sums[c].clone();
+            for v in new_centroid.iter_mut() {
+                *v /= counts[c] as f64;
+            }
+            movement += squared_euclidean_unchecked(&new_centroid, &centroids[c]).sqrt();
+            centroids[c] = new_centroid;
+        }
+        if movement < config.tol {
+            break;
+        }
+    }
+
+    // Final assignment and inertia.
+    let mut inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = squared_euclidean_unchecked(p, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        labels[i] = best;
+        inertia += best_d;
+    }
+
+    Ok(KmeansResult {
+        clustering: Clustering::from_labels(&labels),
+        centroids,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            let cx = c as f64 * 10.0;
+            for i in 0..10 {
+                let jitter = (i as f64) * 0.01;
+                pts.push(vec![cx + jitter, cx - jitter]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = three_blobs();
+        let result = kmeans(&pts, &KmeansConfig::with_k(3)).unwrap();
+        assert_eq!(result.clustering.num_clusters(), 3);
+        assert_eq!(result.centroids.len(), 3);
+        // Points from the same blob share a label.
+        for blob in 0..3 {
+            let base = blob * 10;
+            for i in 1..10 {
+                assert!(result.clustering.same_cluster(base, base + i));
+            }
+        }
+        // Blobs are separated.
+        assert!(!result.clustering.same_cluster(0, 10));
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = three_blobs();
+        let a = kmeans(&pts, &KmeansConfig::with_k(3)).unwrap();
+        let b = kmeans(&pts, &KmeansConfig::with_k(3)).unwrap();
+        assert_eq!(a.clustering, b.clustering);
+    }
+
+    #[test]
+    fn k_clamped_to_number_of_points() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let result = kmeans(&pts, &KmeansConfig::with_k(10)).unwrap();
+        assert_eq!(result.centroids.len(), 2);
+        assert_eq!(result.clustering.num_clusters(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![vec![1.0, 1.0]; 8];
+        let result = kmeans(&pts, &KmeansConfig::with_k(3)).unwrap();
+        assert!(result.inertia < 1e-12);
+        assert!(result.clustering.num_clusters() >= 1);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(kmeans(&[], &KmeansConfig::with_k(2)).is_err());
+        assert!(kmeans(&[vec![]], &KmeansConfig::with_k(1)).is_err());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], &KmeansConfig::with_k(1)).is_err());
+        assert!(kmeans(&[vec![f64::NAN]], &KmeansConfig::with_k(1)).is_err());
+        assert!(kmeans(&[vec![1.0]], &KmeansConfig { k: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let result = kmeans(&pts, &KmeansConfig::with_k(1)).unwrap();
+        assert!((result.centroids[0][0] - 1.0).abs() < 1e-9);
+        assert!((result.centroids[0][1] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,261 @@
+//! Undirected weighted graphs in adjacency-list form.
+//!
+//! The k-NN graph of the paper is undirected, loop-free, and has `O(n)`
+//! edges; this type is the in-memory representation every other module
+//! (clustering, ordering, adjacency-matrix construction) works from.
+
+use crate::{GraphError, Result};
+use mogul_sparse::{CooMatrix, CsrMatrix};
+
+/// An undirected weighted graph without self-loops.
+///
+/// Neighbour lists are kept sorted by neighbour id; parallel edges are merged
+/// at construction time by keeping the last weight supplied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    adj: Vec<Vec<(usize, f64)>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Create a graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Build a graph from undirected weighted edges.
+    ///
+    /// Self-loops are rejected (the paper's k-NN graphs have none); duplicate
+    /// edges keep the last supplied weight; non-finite or non-positive
+    /// weights are rejected.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self> {
+        let mut graph = Graph::empty(n);
+        for &(u, v, w) in edges {
+            graph.add_edge(u, v, w)?;
+        }
+        Ok(graph)
+    }
+
+    /// Add (or overwrite) an undirected edge.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> Result<()> {
+        let n = self.num_nodes();
+        if u >= n || v >= n {
+            return Err(GraphError::IndexOutOfBounds {
+                index: (u, v),
+                shape: (n, n),
+            });
+        }
+        if u == v {
+            return Err(GraphError::InvalidInput(format!(
+                "self-loop at node {u} is not allowed in a k-NN graph"
+            )));
+        }
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(GraphError::InvalidInput(format!(
+                "edge ({u}, {v}) has invalid weight {weight}"
+            )));
+        }
+        let inserted_u = Self::insert_neighbor(&mut self.adj[u], v, weight);
+        let inserted_v = Self::insert_neighbor(&mut self.adj[v], u, weight);
+        debug_assert_eq!(inserted_u, inserted_v);
+        if inserted_u {
+            self.num_edges += 1;
+        }
+        Ok(())
+    }
+
+    fn insert_neighbor(list: &mut Vec<(usize, f64)>, target: usize, weight: f64) -> bool {
+        match list.binary_search_by_key(&target, |&(id, _)| id) {
+            Ok(pos) => {
+                list[pos].1 = weight;
+                false
+            }
+            Err(pos) => {
+                list.insert(pos, (target, weight));
+                true
+            }
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbour list of `u` as `(neighbour, weight)` pairs.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.adj[u]
+    }
+
+    /// Unweighted degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Weighted degree of `u` (sum of incident edge weights).
+    pub fn weighted_degree(&self, u: usize) -> f64 {
+        self.adj[u].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_weight(&self) -> f64 {
+        let twice: f64 = (0..self.num_nodes()).map(|u| self.weighted_degree(u)).sum();
+        twice / 2.0
+    }
+
+    /// `true` if the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u]
+            .binary_search_by_key(&v, |&(id, _)| id)
+            .is_ok()
+    }
+
+    /// Weight of edge `(u, v)`, or `None` if absent.
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        self.adj[u]
+            .binary_search_by_key(&v, |&(id, _)| id)
+            .ok()
+            .map(|pos| self.adj[u][pos].1)
+    }
+
+    /// Symmetric adjacency matrix in CSR form.
+    pub fn adjacency_matrix(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let mut coo = CooMatrix::with_capacity(n, n, 2 * self.num_edges);
+        for u in 0..n {
+            for &(v, w) in &self.adj[u] {
+                // Each direction appears once in the adjacency lists.
+                coo.push(u, v, w).expect("adjacency indices in range");
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Connected-component label of each node (labels are contiguous from 0,
+    /// assigned in order of the smallest node id in each component).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut labels = vec![usize::MAX; n];
+        let mut next_label = 0usize;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if labels[start] != usize::MAX {
+                continue;
+            }
+            labels[start] = next_label;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for &(v, _) in &self.adj[u] {
+                    if labels[v] == usize::MAX {
+                        labels[v] = next_label;
+                        stack.push(v);
+                    }
+                }
+            }
+            next_label += 1;
+        }
+        labels
+    }
+
+    /// `true` if the graph has a single connected component (or no nodes).
+    pub fn is_connected(&self) -> bool {
+        let labels = self.connected_components();
+        labels.iter().all(|&l| l == 0)
+    }
+
+    /// Number of edges between `u` and nodes for which `predicate` holds.
+    pub fn count_neighbors_where(&self, u: usize, mut predicate: impl FnMut(usize) -> bool) -> usize {
+        self.adj[u].iter().filter(|&&(v, _)| predicate(v)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolated() -> Graph {
+        Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 0.5)]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.edge_weight(1, 2), Some(2.0));
+        assert_eq!(g.edge_weight(1, 3), None);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert!((g.weighted_degree(0) - 1.5).abs() < 1e-12);
+        assert!((g.total_weight() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut g = Graph::empty(3);
+        assert!(g.add_edge(0, 0, 1.0).is_err());
+        assert!(g.add_edge(0, 5, 1.0).is_err());
+        assert!(g.add_edge(0, 1, 0.0).is_err());
+        assert!(g.add_edge(0, 1, f64::NAN).is_err());
+        assert!(g.add_edge(0, 1, -1.0).is_err());
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_overwrite_weight() {
+        let mut g = Graph::empty(2);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 0, 3.0).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric() {
+        let g = triangle_plus_isolated();
+        let a = g.adjacency_matrix();
+        assert_eq!(a.nrows(), 4);
+        assert!(a.is_symmetric(1e-12));
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(2, 1), 2.0);
+        assert_eq!(a.get(3, 3), 0.0);
+        assert_eq!(a.nnz(), 6);
+    }
+
+    #[test]
+    fn connected_components_and_connectivity() {
+        let g = triangle_plus_isolated();
+        let labels = g.connected_components();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(!g.is_connected());
+
+        let connected = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(connected.is_connected());
+        assert!(Graph::empty(0).is_connected());
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, &[(2, 4, 1.0), (2, 0, 1.0), (2, 3, 1.0)]).unwrap();
+        let ids: Vec<usize> = g.neighbors(2).iter().map(|&(v, _)| v).collect();
+        assert_eq!(ids, vec![0, 3, 4]);
+        assert_eq!(g.count_neighbors_where(2, |v| v > 2), 2);
+    }
+}

@@ -1,0 +1,571 @@
+//! k-nearest-neighbour graph construction.
+//!
+//! Manifold Ranking models the image database as a k-NN graph: every image is
+//! a node, and two nodes share an undirected edge when one is among the k
+//! nearest neighbours of the other; the edge weight is the heat kernel
+//! `A_ij = exp(−d²(u_i, u_j) / 2σ²)` (Section 3 of the paper, k is typically
+//! 5–20).
+//!
+//! Two construction paths are provided:
+//!
+//! * [`exact_knn_indices`] — threaded brute-force search (exact, `O(n² m)`),
+//!   the reference used for small and medium datasets.
+//! * [`approximate_knn_indices`] — partition-based approximate search that
+//!   only scans a few nearby partitions per query, for the larger synthetic
+//!   datasets (the paper's INRIA-scale regime).
+
+use crate::graph::Graph;
+use crate::{GraphError, Result};
+use std::cmp::Ordering;
+
+/// How edge weights are derived from distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeWeighting {
+    /// Heat kernel `exp(−d² / 2σ²)`; `sigma = None` estimates σ as the
+    /// standard deviation of all k-NN distances (the paper's convention of
+    /// using "the standard variation of the function scores").
+    HeatKernel {
+        /// Kernel bandwidth; `None` → estimated from the data.
+        sigma: Option<f64>,
+    },
+    /// Every edge gets weight 1.
+    Binary,
+    /// `1 / (d + ε)` weights.
+    InverseDistance,
+}
+
+/// Configuration for k-NN graph construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnConfig {
+    /// Number of nearest neighbours per node (the paper uses 5).
+    pub k: usize,
+    /// Edge weighting scheme.
+    pub weighting: EdgeWeighting,
+    /// Number of worker threads for the brute-force search (0 → all cores).
+    pub threads: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig {
+            k: 5,
+            weighting: EdgeWeighting::HeatKernel { sigma: None },
+            threads: 0,
+        }
+    }
+}
+
+impl KnnConfig {
+    /// Convenience constructor with the paper's defaults and a given `k`.
+    pub fn with_k(k: usize) -> Self {
+        KnnConfig {
+            k,
+            ..KnnConfig::default()
+        }
+    }
+}
+
+fn validate_features(features: &[Vec<f64>]) -> Result<usize> {
+    if features.is_empty() {
+        return Err(GraphError::InvalidInput(
+            "cannot build a k-NN graph over zero points".into(),
+        ));
+    }
+    let dim = features[0].len();
+    if dim == 0 {
+        return Err(GraphError::InvalidInput(
+            "feature vectors must have at least one dimension".into(),
+        ));
+    }
+    for (i, f) in features.iter().enumerate() {
+        if f.len() != dim {
+            return Err(GraphError::InvalidInput(format!(
+                "feature vector {i} has dimension {} but expected {dim}",
+                f.len()
+            )));
+        }
+        if !f.iter().all(|v| v.is_finite()) {
+            return Err(GraphError::InvalidInput(format!(
+                "feature vector {i} contains non-finite values"
+            )));
+        }
+    }
+    Ok(dim)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    distance: f64,
+    index: usize,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order on finite distances; ties broken by index.
+        self.distance
+            .partial_cmp(&other.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    mogul_sparse::vector::squared_euclidean_unchecked(a, b)
+}
+
+/// k nearest neighbours of a single query among `features`, excluding
+/// `exclude` (set to `usize::MAX` to exclude nothing). Returns `(index,
+/// distance)` pairs sorted by ascending distance.
+pub fn nearest_neighbors(
+    features: &[Vec<f64>],
+    query: &[f64],
+    k: usize,
+    exclude: usize,
+) -> Vec<(usize, f64)> {
+    // Max-heap of the k closest candidates seen so far.
+    let mut heap: std::collections::BinaryHeap<Candidate> = std::collections::BinaryHeap::new();
+    for (j, f) in features.iter().enumerate() {
+        if j == exclude {
+            continue;
+        }
+        let d2 = squared_distance(query, f);
+        let cand = Candidate {
+            distance: d2,
+            index: j,
+        };
+        if heap.len() < k {
+            heap.push(cand);
+        } else if let Some(worst) = heap.peek() {
+            if cand < *worst {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+    }
+    let mut out: Vec<(usize, f64)> = heap
+        .into_iter()
+        .map(|c| (c.index, c.distance.sqrt()))
+        .collect();
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Exact k-NN lists for every point (brute force, threaded with scoped
+/// threads). Entry `i` holds the `k` nearest other points of point `i` as
+/// `(index, distance)` pairs sorted by ascending distance.
+pub fn exact_knn_indices(
+    features: &[Vec<f64>],
+    k: usize,
+    threads: usize,
+) -> Result<Vec<Vec<(usize, f64)>>> {
+    validate_features(features)?;
+    let n = features.len();
+    if k == 0 {
+        return Err(GraphError::InvalidInput("k must be at least 1".into()));
+    }
+    let k = k.min(n.saturating_sub(1));
+    let worker_count = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .max(1)
+    .min(n.max(1));
+
+    let mut results: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    if k == 0 {
+        return Ok(results);
+    }
+    let chunk = n.div_ceil(worker_count);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, slot) in results.chunks_mut(chunk).enumerate() {
+            let start = chunk_idx * chunk;
+            handles.push(scope.spawn(move |_| {
+                for (offset, out) in slot.iter_mut().enumerate() {
+                    let i = start + offset;
+                    *out = nearest_neighbors(features, &features[i], k, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("knn worker thread panicked");
+        }
+    })
+    .expect("knn thread scope failed");
+    Ok(results)
+}
+
+/// Approximate k-NN lists using random-center partitioning: points are
+/// assigned to the nearest of `num_partitions` randomly chosen centers, and
+/// each query only scans its own partition plus the `probes − 1` next-nearest
+/// partitions. Falls back to exact search for tiny inputs.
+pub fn approximate_knn_indices(
+    features: &[Vec<f64>],
+    k: usize,
+    num_partitions: usize,
+    probes: usize,
+    seed: u64,
+) -> Result<Vec<Vec<(usize, f64)>>> {
+    validate_features(features)?;
+    let n = features.len();
+    if k == 0 {
+        return Err(GraphError::InvalidInput("k must be at least 1".into()));
+    }
+    let num_partitions = num_partitions.clamp(1, n);
+    if num_partitions <= 1 || n <= 4 * k {
+        return exact_knn_indices(features, k, 0);
+    }
+    let probes = probes.clamp(1, num_partitions);
+    let k = k.min(n - 1);
+
+    // Pick partition centers deterministically from the seed.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut centers: Vec<usize> = Vec::with_capacity(num_partitions);
+    while centers.len() < num_partitions {
+        let c = (next() % n as u64) as usize;
+        if !centers.contains(&c) {
+            centers.push(c);
+        }
+    }
+
+    // Assign every point to its nearest center.
+    let mut partition_of = vec![0usize; n];
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_partitions];
+    for i in 0..n {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (p, &c) in centers.iter().enumerate() {
+            let d = squared_distance(&features[i], &features[c]);
+            if d < best_d {
+                best_d = d;
+                best = p;
+            }
+        }
+        partition_of[i] = best;
+        members[best].push(i);
+    }
+
+    // For each query, scan its own partition plus the nearest few others.
+    let mut results: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut center_order: Vec<(usize, f64)> = centers
+            .iter()
+            .enumerate()
+            .map(|(p, &c)| (p, squared_distance(&features[i], &features[c])))
+            .collect();
+        center_order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+        let mut candidates: Vec<usize> = Vec::new();
+        for &(p, _) in center_order.iter().take(probes) {
+            candidates.extend(members[p].iter().copied());
+        }
+        if !candidates.contains(&partition_of[i]) {
+            candidates.extend(members[partition_of[i]].iter().copied());
+        }
+        let mut scored: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .filter(|&j| j != i)
+            .map(|j| (j, squared_distance(&features[i], &features[j]).sqrt()))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)));
+        scored.dedup_by_key(|e| e.0);
+        scored.truncate(k);
+        results.push(scored);
+    }
+    Ok(results)
+}
+
+/// Estimate the heat-kernel bandwidth σ from the supplied k-NN distances.
+///
+/// The paper defines σ loosely as "the standard variation of the function
+/// scores"; in high-dimensional feature spaces k-NN distances concentrate
+/// (mean ≫ standard deviation), and a bandwidth equal to the raw standard
+/// deviation would drive every edge weight to zero. The estimator therefore
+/// uses the classical choice `σ = mean k-NN distance`, widened to the
+/// standard deviation whenever the spread is larger than the mean, and falls
+/// back to 1.0 for fully degenerate inputs (e.g. all-duplicate points).
+pub fn estimate_sigma(neighbor_lists: &[Vec<(usize, f64)>]) -> f64 {
+    let distances: Vec<f64> = neighbor_lists
+        .iter()
+        .flat_map(|l| l.iter().map(|&(_, d)| d))
+        .collect();
+    if distances.is_empty() {
+        return 1.0;
+    }
+    let mean = distances.iter().sum::<f64>() / distances.len() as f64;
+    let var = distances
+        .iter()
+        .map(|d| (d - mean) * (d - mean))
+        .sum::<f64>()
+        / distances.len() as f64;
+    let std = var.sqrt();
+    let sigma = mean.max(std);
+    if sigma > 1e-12 {
+        sigma
+    } else {
+        1.0
+    }
+}
+
+/// Convert neighbour lists to an undirected weighted graph using the given
+/// weighting scheme. An edge is created when either endpoint lists the other
+/// (the union rule), matching the paper's "two nodes are connected … if they
+/// are k-nearest neighbors".
+pub fn graph_from_neighbor_lists(
+    neighbor_lists: &[Vec<(usize, f64)>],
+    weighting: EdgeWeighting,
+) -> Result<Graph> {
+    let n = neighbor_lists.len();
+    let sigma = match weighting {
+        EdgeWeighting::HeatKernel { sigma } => sigma.unwrap_or_else(|| estimate_sigma(neighbor_lists)),
+        _ => 1.0,
+    };
+    if sigma <= 0.0 || !sigma.is_finite() {
+        return Err(GraphError::InvalidInput(format!(
+            "heat-kernel bandwidth must be positive and finite, got {sigma}"
+        )));
+    }
+    let mut graph = Graph::empty(n);
+    for (i, list) in neighbor_lists.iter().enumerate() {
+        for &(j, d) in list {
+            if i == j {
+                continue;
+            }
+            if graph.has_edge(i, j) {
+                continue;
+            }
+            let weight = match weighting {
+                EdgeWeighting::HeatKernel { .. } => {
+                    let w = (-d * d / (2.0 * sigma * sigma)).exp();
+                    // Guard against underflow to zero for far-apart pairs.
+                    w.max(1e-300)
+                }
+                EdgeWeighting::Binary => 1.0,
+                EdgeWeighting::InverseDistance => 1.0 / (d + 1e-12),
+            };
+            graph.add_edge(i, j, weight)?;
+        }
+    }
+    Ok(graph)
+}
+
+/// Build the k-NN graph of a feature matrix with exact (brute force) search.
+///
+/// This is the paper's preprocessing step shared by every ranking method.
+pub fn knn_graph(features: &[Vec<f64>], config: KnnConfig) -> Result<Graph> {
+    let lists = exact_knn_indices(features, config.k, config.threads)?;
+    graph_from_neighbor_lists(&lists, config.weighting)
+}
+
+/// Build an approximate k-NN graph (partition-based candidate generation).
+pub fn approximate_knn_graph(
+    features: &[Vec<f64>],
+    config: KnnConfig,
+    num_partitions: usize,
+    probes: usize,
+    seed: u64,
+) -> Result<Graph> {
+    let lists = approximate_knn_indices(features, config.k, num_partitions, probes, seed)?;
+    graph_from_neighbor_lists(&lists, config.weighting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters() -> Vec<Vec<f64>> {
+        // 6 points: two tight clusters far apart.
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ]
+    }
+
+    #[test]
+    fn exact_knn_finds_cluster_mates() {
+        let feats = two_clusters();
+        let lists = exact_knn_indices(&feats, 2, 2).unwrap();
+        assert_eq!(lists.len(), 6);
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(list.len(), 2);
+            for &(j, d) in list {
+                assert_ne!(i, j);
+                // Neighbours stay within the same cluster of 3 points.
+                assert_eq!(i / 3, j / 3, "point {i} matched {j}");
+                assert!(d < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_distances_are_sorted() {
+        let feats = two_clusters();
+        let lists = exact_knn_indices(&feats, 3, 1).unwrap();
+        for list in lists {
+            for w in list.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let feats = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let lists = exact_knn_indices(&feats, 10, 1).unwrap();
+        for list in lists {
+            assert_eq!(list.len(), 2);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(exact_knn_indices(&[], 3, 1).is_err());
+        assert!(exact_knn_indices(&[vec![]], 3, 1).is_err());
+        assert!(exact_knn_indices(&[vec![1.0], vec![1.0, 2.0]], 1, 1).is_err());
+        assert!(exact_knn_indices(&[vec![f64::NAN], vec![0.0]], 1, 1).is_err());
+        assert!(exact_knn_indices(&two_clusters(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn heat_kernel_graph_weights_are_in_unit_interval() {
+        let feats = two_clusters();
+        let g = knn_graph(&feats, KnnConfig::with_k(2)).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert!(g.num_edges() >= 6);
+        for u in 0..g.num_nodes() {
+            for &(_, w) in g.neighbors(u) {
+                assert!(w > 0.0 && w <= 1.0);
+            }
+        }
+        // No cross-cluster edges for k=2 on this dataset.
+        for u in 0..3 {
+            for &(v, _) in g.neighbors(u) {
+                assert!(v < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_and_inverse_distance_weightings() {
+        let feats = two_clusters();
+        let lists = exact_knn_indices(&feats, 2, 1).unwrap();
+        let binary = graph_from_neighbor_lists(&lists, EdgeWeighting::Binary).unwrap();
+        for u in 0..binary.num_nodes() {
+            for &(_, w) in binary.neighbors(u) {
+                assert_eq!(w, 1.0);
+            }
+        }
+        let inv = graph_from_neighbor_lists(&lists, EdgeWeighting::InverseDistance).unwrap();
+        for u in 0..inv.num_nodes() {
+            for &(_, w) in inv.neighbors(u) {
+                assert!(w > 1.0); // distances are < 1 here
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_sigma_is_respected_and_validated() {
+        let feats = two_clusters();
+        let lists = exact_knn_indices(&feats, 2, 1).unwrap();
+        let g = graph_from_neighbor_lists(
+            &lists,
+            EdgeWeighting::HeatKernel { sigma: Some(0.05) },
+        )
+        .unwrap();
+        assert!(g.num_edges() > 0);
+        assert!(graph_from_neighbor_lists(
+            &lists,
+            EdgeWeighting::HeatKernel { sigma: Some(0.0) }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sigma_estimation_degenerate_cases() {
+        assert_eq!(estimate_sigma(&[]), 1.0);
+        assert_eq!(estimate_sigma(&[vec![]]), 1.0);
+        // All-equal distances: the mean is used directly.
+        let sigma = estimate_sigma(&[vec![(1, 2.0), (2, 2.0)]]);
+        assert!((sigma - 2.0).abs() < 1e-12);
+        // All-zero distances (duplicate points): falls back to 1.0.
+        let sigma = estimate_sigma(&[vec![(1, 0.0), (2, 0.0)]]);
+        assert_eq!(sigma, 1.0);
+        // Concentrated distances (mean >> std): σ tracks the mean so edge
+        // weights stay well away from underflow.
+        let sigma = estimate_sigma(&[vec![(1, 10.0), (2, 10.1), (3, 9.9)]]);
+        assert!(sigma > 9.0);
+    }
+
+    #[test]
+    fn duplicate_points_still_build_a_graph() {
+        let feats = vec![vec![1.0, 1.0]; 5];
+        let g = knn_graph(&feats, KnnConfig::with_k(2)).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn approximate_knn_mostly_agrees_with_exact() {
+        // Grid of points: approximate search with several probes should
+        // recover the large majority of true neighbours.
+        let mut feats = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                feats.push(vec![i as f64, j as f64]);
+            }
+        }
+        let exact = exact_knn_indices(&feats, 4, 0).unwrap();
+        let approx = approximate_knn_indices(&feats, 4, 9, 4, 42).unwrap();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (e, a) in exact.iter().zip(approx.iter()) {
+            let aset: std::collections::HashSet<usize> = a.iter().map(|&(j, _)| j).collect();
+            for &(j, _) in e {
+                total += 1;
+                if aset.contains(&j) {
+                    hits += 1;
+                }
+            }
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.7, "approximate recall too low: {recall}");
+    }
+
+    #[test]
+    fn approximate_falls_back_to_exact_for_tiny_inputs() {
+        let feats = two_clusters();
+        let exact = exact_knn_indices(&feats, 2, 1).unwrap();
+        let approx = approximate_knn_indices(&feats, 2, 4, 1, 7).unwrap();
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn nearest_neighbors_for_external_query() {
+        let feats = two_clusters();
+        let hits = nearest_neighbors(&feats, &[0.05, 0.05], 3, usize::MAX);
+        assert_eq!(hits.len(), 3);
+        for &(j, _) in &hits {
+            assert!(j < 3);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the graph substrate: clustering invariants and
+//! Algorithm 1 ordering guarantees on random graphs.
+
+use mogul_graph::clustering::modularity::{modularity_clustering, modularity_score, ModularityConfig};
+use mogul_graph::clustering::Clustering;
+use mogul_graph::ordering::{mogul_ordering, random_ordering};
+use mogul_graph::Graph;
+use proptest::prelude::*;
+
+fn build_graph(n: usize, raw_edges: &[(usize, usize, u8)]) -> Graph {
+    let mut graph = Graph::empty(n);
+    for &(a, b, w) in raw_edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let weight = 0.05 + f64::from(w) / 32.0;
+        graph.add_edge(a, b, weight).unwrap();
+    }
+    graph
+}
+
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
+    (4usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 0u8..32), 0..(3 * n));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Modularity clustering always returns a full, contiguous labelling and
+    /// never merges nodes across connected components.
+    #[test]
+    fn modularity_clustering_invariants((n, edges) in graph_strategy()) {
+        let graph = build_graph(n, &edges);
+        let clustering = modularity_clustering(&graph, &ModularityConfig::default());
+        prop_assert_eq!(clustering.len(), n);
+        // Labels are contiguous: every label below num_clusters appears.
+        let mut seen = vec![false; clustering.num_clusters()];
+        for &l in clustering.labels() {
+            prop_assert!(l < clustering.num_clusters());
+            seen[l] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        // No cluster spans two connected components.
+        let components = graph.connected_components();
+        for u in 0..n {
+            for v in 0..n {
+                if clustering.same_cluster(u, v) && graph.num_edges() > 0 {
+                    // Same cluster implies same component whenever both nodes
+                    // have at least one edge (isolated nodes are singletons).
+                    if graph.degree(u) > 0 && graph.degree(v) > 0 {
+                        prop_assert_eq!(components[u], components[v]);
+                    }
+                }
+            }
+        }
+        // The returned clustering is never worse than the all-singletons one.
+        let q = modularity_score(&graph, &clustering);
+        let q_singletons = modularity_score(&graph, &Clustering::singletons(n));
+        prop_assert!(q + 1e-9 >= q_singletons);
+    }
+
+    /// Algorithm 1 always produces a valid ordering: a bijection, contiguous
+    /// clusters, a trailing border cluster, and no interior node with an edge
+    /// into a different interior cluster.
+    #[test]
+    fn ordering_invariants((n, edges) in graph_strategy()) {
+        let graph = build_graph(n, &edges);
+        let clustering = modularity_clustering(&graph, &ModularityConfig::default());
+        let ordering = mogul_ordering(&graph, &clustering).unwrap();
+        prop_assert!(ordering.validate());
+        prop_assert_eq!(ordering.len(), n);
+
+        let border_idx = ordering.border_cluster();
+        // Permutation is a bijection.
+        let mut seen = vec![false; n];
+        for p in 0..n {
+            let old = ordering.permutation.old_index(p);
+            prop_assert!(!seen[old]);
+            seen[old] = true;
+        }
+        // Interior nodes only touch their own cluster or the border.
+        for u in 0..n {
+            let cu = ordering.cluster_of_node(u);
+            if cu == border_idx {
+                continue;
+            }
+            for &(v, _) in graph.neighbors(u) {
+                let cv = ordering.cluster_of_node(v);
+                prop_assert!(cv == cu || cv == border_idx);
+            }
+        }
+        // Within every cluster, nodes appear in non-decreasing order of their
+        // within-cluster degree (the Algorithm 1 arrangement).
+        for (ci, range) in ordering.clusters.iter().enumerate() {
+            let mut previous = 0usize;
+            for p in range.indices() {
+                let node = ordering.permutation.old_index(p);
+                let within = graph.count_neighbors_where(node, |v| ordering.cluster_of_node(v) == ci);
+                prop_assert!(within >= previous, "cluster {ci} not sorted by within-degree");
+                previous = within;
+            }
+        }
+    }
+
+    /// Random orderings are valid single-cluster orderings for any size.
+    #[test]
+    fn random_ordering_is_always_valid(n in 0usize..200, seed in 0u64..50) {
+        let ordering = random_ordering(n, seed);
+        prop_assert!(ordering.validate());
+        prop_assert_eq!(ordering.num_clusters(), 1);
+        prop_assert_eq!(ordering.border_range().len, n);
+    }
+}

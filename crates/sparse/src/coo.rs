@@ -1,0 +1,198 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+//!
+//! `CooMatrix` is the write-optimized staging structure: graph-construction
+//! code pushes `(row, col, value)` triplets in arbitrary order and converts to
+//! [`CsrMatrix`](crate::CsrMatrix) once, deduplicating by summation.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+
+/// A sparse matrix in coordinate (triplet) format.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Create an empty COO matrix with the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create an empty COO matrix with the given shape and entry capacity.
+    pub fn with_capacity(nrows: usize, ncols: usize, capacity: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Stored triplets.
+    #[inline]
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Push a triplet. Out-of-bounds indices are rejected.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Push both `(row, col, value)` and `(col, row, value)`.
+    ///
+    /// Convenience for building symmetric adjacency matrices from undirected
+    /// edges; diagonal entries are pushed only once.
+    pub fn push_symmetric(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        self.push(row, col, value)?;
+        if row != col {
+            self.push(col, row, value)?;
+        }
+        Ok(())
+    }
+
+    /// Convert to CSR, summing duplicate entries and dropping explicit zeros
+    /// that result from cancellation.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(row, col, _)| (row, col));
+
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        indptr.push(0);
+
+        let mut current_row = 0usize;
+        let mut idx = 0usize;
+        while idx < sorted.len() {
+            let (row, col, _) = sorted[idx];
+            while current_row < row {
+                indptr.push(indices.len());
+                current_row += 1;
+            }
+            // Merge duplicates for (row, col).
+            let mut value = 0.0;
+            while idx < sorted.len() && sorted[idx].0 == row && sorted[idx].1 == col {
+                value += sorted[idx].2;
+                idx += 1;
+            }
+            if value != 0.0 {
+                indices.push(col);
+                values.push(value);
+            }
+        }
+        while current_row < self.nrows {
+            indptr.push(indices.len());
+            current_row += 1;
+        }
+        indptr.push(indices.len());
+        // The loop above pushes one extra terminator when nrows > 0 and the
+        // last row had entries; normalize to exactly nrows + 1 pointers.
+        indptr.truncate(self.nrows + 1);
+        while indptr.len() < self.nrows + 1 {
+            indptr.push(indices.len());
+        }
+
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, values)
+            .expect("COO to CSR conversion produced inconsistent structure")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(0, 0, 1.0).is_ok());
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 5, 1.0).is_err());
+        assert_eq!(coo.nnz(), 1);
+    }
+
+    #[test]
+    fn to_csr_sorts_and_merges_duplicates() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 1, 4.0).unwrap();
+        coo.push(0, 2, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(1, 0, 5.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 2), 3.0);
+        assert_eq!(csr.get(1, 0), 5.0);
+        assert_eq!(csr.get(2, 1), 4.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn to_csr_drops_cancelled_entries() {
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(0, 1, -2.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(3, 3, 1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 4);
+        assert_eq!(csr.row(0).0.len(), 0);
+        assert_eq!(csr.row(3).0, &[3]);
+    }
+
+    #[test]
+    fn symmetric_push() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 1, 2.0).unwrap();
+        coo.push_symmetric(2, 2, 5.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 1), 2.0);
+        assert_eq!(csr.get(1, 0), 2.0);
+        assert_eq!(csr.get(2, 2), 5.0);
+        assert!(csr.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let coo = CooMatrix::new(0, 0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 0);
+        assert_eq!(csr.nnz(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # mogul-sparse
+//!
+//! Sparse and dense linear-algebra substrate for the Mogul manifold-ranking
+//! library (Fujiwara et al., *Scaling Manifold Ranking Based Image Retrieval*,
+//! VLDB 2014).
+//!
+//! The paper's machinery is built almost entirely out of a handful of
+//! numerical kernels that this crate provides from scratch:
+//!
+//! * [`CsrMatrix`] / [`CooMatrix`] — compressed sparse row storage for the
+//!   k-NN adjacency matrix and everything derived from it.
+//! * [`Permutation`] — the node permutation matrix `P` of Section 4.2.2
+//!   (`A' = P A Pᵀ`).
+//! * [`triangular`] — forward/back substitution (Equations (4) and (5)).
+//! * [`ichol`] — Incomplete Cholesky `L D Lᵀ` factorization restricted to the
+//!   sparsity pattern of `W` (Equations (6) and (7)).
+//! * [`ldl`] — complete ("Modified Cholesky" in the paper's terminology)
+//!   sparse `L D Lᵀ` factorization with fill-in, used by MogulE (Section 4.6.1).
+//! * [`eigen`] / [`lowrank`] — Lanczos and Jacobi eigensolvers plus truncated
+//!   low-rank approximation, used by the FMR baseline and spectral clustering.
+//! * [`woodbury`] — the Woodbury-identity solve used by the EMR baseline.
+//! * [`dense`] — dense matrices with LU decomposition and inversion, used by
+//!   the `O(n³)` Inverse baseline and for verification in tests.
+//!
+//! All numerics use `f64`. The crate has no third-party dependencies.
+
+#![warn(missing_docs)]
+// Index-based loops are used deliberately throughout the numerical kernels:
+// they mirror the paper's equations and index several arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod eigen;
+pub mod error;
+pub mod ichol;
+pub mod ldl;
+pub mod lowrank;
+pub mod permutation;
+pub mod stats;
+pub mod triangular;
+pub mod vector;
+pub mod woodbury;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::{Result, SparseError};
+pub use ichol::{incomplete_ldl, LdlFactors};
+pub use ldl::{complete_ldl, CompleteLdl};
+pub use permutation::Permutation;

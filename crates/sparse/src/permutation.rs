@@ -1,0 +1,239 @@
+//! Node permutations (the matrix `P` of Section 4.2.2).
+//!
+//! The paper permutes the nodes of the k-NN graph before Incomplete Cholesky
+//! factorization so that within-cluster nodes become contiguous and the
+//! "border" nodes (those with cross-cluster edges) come last. `P` is an
+//! orthogonal 0/1 matrix with exactly one `1` per row and column; we store it
+//! as a pair of index maps instead of materializing `n × n` entries, which
+//! keeps the memory cost at `O(n)` as required by Theorem 3.
+
+use crate::error::{Result, SparseError};
+
+/// A permutation of `n` items, stored as both directions of the index map.
+///
+/// Following the paper's convention, "new" indices are positions after the
+/// permutation (primed nodes `u'_i`) and "old" indices are the original node
+/// identifiers `u_i`. `P_{ij} = 1` means old node `j` moves to new position
+/// `i`, i.e. `new_to_old[i] = j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_to_old: Vec<usize>,
+    old_to_new: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<usize> = (0..n).collect();
+        Permutation {
+            new_to_old: ids.clone(),
+            old_to_new: ids,
+        }
+    }
+
+    /// Build from the `new → old` map (entry `i` holds the original index of
+    /// the node placed at position `i`).
+    ///
+    /// Returns an error unless the map is a bijection on `0..n`.
+    pub fn from_new_to_old(new_to_old: Vec<usize>) -> Result<Self> {
+        let n = new_to_old.len();
+        let mut old_to_new = vec![usize::MAX; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            if old >= n {
+                return Err(SparseError::InvalidInput(format!(
+                    "permutation entry {old} out of range for length {n}"
+                )));
+            }
+            if old_to_new[old] != usize::MAX {
+                return Err(SparseError::InvalidInput(format!(
+                    "permutation maps index {old} twice"
+                )));
+            }
+            old_to_new[old] = new;
+        }
+        Ok(Permutation {
+            new_to_old,
+            old_to_new,
+        })
+    }
+
+    /// Build from the `old → new` map (entry `j` holds the new position of
+    /// original node `j`).
+    pub fn from_old_to_new(old_to_new: Vec<usize>) -> Result<Self> {
+        let inv = Permutation::from_new_to_old(old_to_new)?;
+        Ok(inv.inverse())
+    }
+
+    /// Number of permuted items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// `true` if the permutation is over zero items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// Original index of the node at new position `new`.
+    #[inline]
+    pub fn old_index(&self, new: usize) -> usize {
+        self.new_to_old[new]
+    }
+
+    /// New position of original node `old`.
+    #[inline]
+    pub fn new_index(&self, old: usize) -> usize {
+        self.old_to_new[old]
+    }
+
+    /// The full `new → old` map.
+    #[inline]
+    pub fn new_to_old(&self) -> &[usize] {
+        &self.new_to_old
+    }
+
+    /// The full `old → new` map.
+    #[inline]
+    pub fn old_to_new(&self) -> &[usize] {
+        &self.old_to_new
+    }
+
+    /// Inverse permutation (`Pᵀ = P⁻¹`).
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            new_to_old: self.old_to_new.clone(),
+            old_to_new: self.new_to_old.clone(),
+        }
+    }
+
+    /// `true` if this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.new_to_old.iter().enumerate().all(|(i, &j)| i == j)
+    }
+
+    /// Apply to a vector: returns `x'` with `x'[new] = x[old]` (i.e. `P x`).
+    pub fn permute_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "permute_vec",
+                left: (self.len(), 1),
+                right: (x.len(), 1),
+            });
+        }
+        Ok(self.new_to_old.iter().map(|&old| x[old]).collect())
+    }
+
+    /// Apply the inverse to a vector: returns `x` with `x[old] = x'[new]`
+    /// (i.e. `Pᵀ x'`).
+    pub fn unpermute_vec(&self, x_permuted: &[f64]) -> Result<Vec<f64>> {
+        if x_permuted.len() != self.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "unpermute_vec",
+                left: (self.len(), 1),
+                right: (x_permuted.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; self.len()];
+        for (new, &old) in self.new_to_old.iter().enumerate() {
+            x[old] = x_permuted[new];
+        }
+        Ok(x)
+    }
+
+    /// Compose with another permutation: the result maps old indices through
+    /// `self` first and then through `other` (i.e. `other ∘ self` as matrices
+    /// `P_other · P_self`).
+    pub fn compose(&self, other: &Permutation) -> Result<Permutation> {
+        if self.len() != other.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "compose permutations",
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+            });
+        }
+        // new index in the composed permutation = other.new of (self.new of old)
+        let mut old_to_new = vec![0usize; self.len()];
+        for old in 0..self.len() {
+            old_to_new[old] = other.new_index(self.new_index(old));
+        }
+        Permutation::from_old_to_new(old_to_new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.len(), 4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p.permute_vec(&x).unwrap(), x);
+        assert_eq!(p.unpermute_vec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn from_new_to_old_validates() {
+        assert!(Permutation::from_new_to_old(vec![0, 1, 1]).is_err());
+        assert!(Permutation::from_new_to_old(vec![0, 3]).is_err());
+        assert!(Permutation::from_new_to_old(vec![2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn permute_and_unpermute_are_inverse() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 3, 1]).unwrap();
+        let x = vec![10.0, 20.0, 30.0, 40.0];
+        let px = p.permute_vec(&x).unwrap();
+        assert_eq!(px, vec![30.0, 10.0, 40.0, 20.0]);
+        assert_eq!(p.unpermute_vec(&px).unwrap(), x);
+        assert!(p.permute_vec(&[1.0]).is_err());
+        assert!(p.unpermute_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_swaps_maps() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        let inv = p.inverse();
+        for old in 0..3 {
+            assert_eq!(inv.old_index(p.new_index(old)), p.new_index(inv.old_index(old)));
+            assert_eq!(inv.new_index(p.old_index(old)), p.old_index(inv.new_index(old)));
+        }
+        // P composed with its inverse is the identity.
+        let composed = p.compose(&inv).unwrap();
+        assert!(composed.is_identity());
+    }
+
+    #[test]
+    fn from_old_to_new_matches_inverse_construction() {
+        let old_to_new = vec![1, 2, 0];
+        let p = Permutation::from_old_to_new(old_to_new.clone()).unwrap();
+        for (old, &new) in old_to_new.iter().enumerate() {
+            assert_eq!(p.new_index(old), new);
+            assert_eq!(p.old_index(new), old);
+        }
+    }
+
+    #[test]
+    fn compose_applies_left_then_right() {
+        // self: rotate right, other: swap first two.
+        let a = Permutation::from_old_to_new(vec![1, 2, 0]).unwrap();
+        let b = Permutation::from_old_to_new(vec![1, 0, 2]).unwrap();
+        let c = a.compose(&b).unwrap();
+        for old in 0..3 {
+            assert_eq!(c.new_index(old), b.new_index(a.new_index(old)));
+        }
+        assert!(a.compose(&Permutation::identity(4)).is_err());
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+        assert_eq!(p.permute_vec(&[]).unwrap(), Vec::<f64>::new());
+    }
+}

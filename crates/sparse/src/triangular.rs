@@ -1,0 +1,245 @@
+//! Forward and back substitution for sparse triangular systems.
+//!
+//! Mogul obtains the approximate ranking scores by forward substitution on
+//! `L' y = q'` (Equation (4)) followed by back substitution on `U x' = y`
+//! (Equation (5)); both factors come from the `L D Lᵀ` factorization of `W`
+//! and are stored row-wise (CSR), which is exactly the access pattern the two
+//! substitutions need.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+
+/// Smallest pivot magnitude accepted before a solve is declared singular.
+const PIVOT_TOL: f64 = 1e-300;
+
+fn check_square_and_rhs(m: &CsrMatrix, b: &[f64], op: &'static str) -> Result<()> {
+    if m.nrows() != m.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+        });
+    }
+    if b.len() != m.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            op,
+            left: (m.nrows(), m.ncols()),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+/// Solve `L x = b` where `L` is lower triangular with a non-zero stored
+/// diagonal. Entries above the diagonal are ignored.
+pub fn solve_lower_triangular(l: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_square_and_rhs(l, b, "solve_lower_triangular")?;
+    let n = l.nrows();
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        let mut sum = b[i];
+        let mut diag = 0.0;
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j < i {
+                sum -= v * x[j];
+            } else if j == i {
+                diag = v;
+            }
+        }
+        if diag.abs() < PIVOT_TOL {
+            return Err(SparseError::SingularMatrix { pivot: i });
+        }
+        x[i] = sum / diag;
+    }
+    Ok(x)
+}
+
+/// Solve `L x = b` where `L` is *unit* lower triangular (implicit or explicit
+/// diagonal of ones). Entries above the diagonal are ignored.
+pub fn solve_unit_lower(l: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_square_and_rhs(l, b, "solve_unit_lower")?;
+    let n = l.nrows();
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        let mut sum = b[i];
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j < i {
+                sum -= v * x[j];
+            }
+        }
+        x[i] = sum;
+    }
+    Ok(x)
+}
+
+/// Solve `U x = b` where `U` is upper triangular with a non-zero stored
+/// diagonal. Entries below the diagonal are ignored.
+pub fn solve_upper_triangular(u: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_square_and_rhs(u, b, "solve_upper_triangular")?;
+    let n = u.nrows();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        let mut sum = b[i];
+        let mut diag = 0.0;
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j > i {
+                sum -= v * x[j];
+            } else if j == i {
+                diag = v;
+            }
+        }
+        if diag.abs() < PIVOT_TOL {
+            return Err(SparseError::SingularMatrix { pivot: i });
+        }
+        x[i] = sum / diag;
+    }
+    Ok(x)
+}
+
+/// Solve `U x = b` where `U` is *unit* upper triangular (implicit or explicit
+/// diagonal of ones). Entries below the diagonal are ignored.
+pub fn solve_unit_upper(u: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_square_and_rhs(u, b, "solve_unit_upper")?;
+    let n = u.nrows();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        let mut sum = b[i];
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j > i {
+                sum -= v * x[j];
+            }
+        }
+        x[i] = sum;
+    }
+    Ok(x)
+}
+
+/// Solve `L D Lᵀ x = b` given the unit-lower factor `L` (rows, CSR), its
+/// transpose `U = Lᵀ` (rows, CSR) and the diagonal `D`.
+///
+/// This is the composite operation Mogul performs when it computes the
+/// approximate scores of *all* nodes (the "Incomplete Cholesky" baseline of
+/// Figure 5); the selective per-cluster variant lives in `mogul-core`.
+pub fn ldl_solve(l: &CsrMatrix, u: &CsrMatrix, d: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    if d.len() != l.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "ldl_solve diagonal",
+            left: (l.nrows(), l.ncols()),
+            right: (d.len(), 1),
+        });
+    }
+    let mut y = solve_unit_lower(l, b)?;
+    for (i, yi) in y.iter_mut().enumerate() {
+        let di = d[i];
+        if di.abs() < PIVOT_TOL {
+            return Err(SparseError::SingularMatrix { pivot: i });
+        }
+        *yi /= di;
+    }
+    solve_unit_upper(u, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::vector::max_abs_diff;
+
+    fn lower_example() -> CsrMatrix {
+        // [ 2 0 0 ]
+        // [ 1 3 0 ]
+        // [ 0 2 4 ]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0), (2, 1, 2.0), (2, 2, 4.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lower_solve_matches_dense() {
+        let l = lower_example();
+        let b = vec![2.0, 7.0, 14.0];
+        let x = solve_lower_triangular(&l, &b).unwrap();
+        let lx = l.matvec(&x).unwrap();
+        assert!(max_abs_diff(&lx, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn upper_solve_matches_dense() {
+        let u = lower_example().transpose();
+        let b = vec![5.0, 4.0, 8.0];
+        let x = solve_upper_triangular(&u, &b).unwrap();
+        let ux = u.matvec(&x).unwrap();
+        assert!(max_abs_diff(&ux, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn unit_solves_ignore_missing_diagonal() {
+        // Strictly lower part only; diagonal treated as 1.
+        let l = CsrMatrix::from_triplets(3, 3, &[(1, 0, 0.5), (2, 1, 0.25)]).unwrap();
+        let b = vec![1.0, 1.0, 1.0];
+        let x = solve_unit_lower(&l, &b).unwrap();
+        assert_eq!(x, vec![1.0, 0.5, 0.875]);
+
+        let u = l.transpose();
+        let xu = solve_unit_upper(&u, &b).unwrap();
+        assert_eq!(xu, vec![0.625, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn singular_diagonals_are_reported() {
+        let l = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            solve_lower_triangular(&l, &[1.0, 1.0]),
+            Err(SparseError::SingularMatrix { pivot: 1 })
+        ));
+        let u = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            solve_upper_triangular(&u, &[1.0, 1.0]),
+            Err(SparseError::SingularMatrix { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let l = lower_example();
+        assert!(solve_lower_triangular(&l, &[1.0]).is_err());
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        assert!(solve_unit_lower(&rect, &[1.0, 1.0]).is_err());
+        assert!(solve_unit_upper(&rect, &[1.0, 1.0]).is_err());
+        assert!(solve_upper_triangular(&rect, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn ldl_solve_reconstructs_spd_solution() {
+        // Build an SPD matrix A = L D L^T and verify ldl_solve(A factors) inverts it.
+        let l = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (1, 0, 0.5), (1, 1, 1.0), (2, 1, -0.25), (2, 2, 1.0)],
+        )
+        .unwrap();
+        let d = vec![4.0, 2.0, 1.0];
+        let u = l.transpose();
+
+        // Dense A = L * D * L^T for reference.
+        let ld = l
+            .to_dense()
+            .matmul(&DenseMatrix::from_diagonal(&d))
+            .unwrap();
+        let a = ld.matmul(&l.to_dense().transpose()).unwrap();
+
+        let b = vec![1.0, -2.0, 3.0];
+        let x = ldl_solve(&l, &u, &d, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!(max_abs_diff(&ax, &b).unwrap() < 1e-12);
+
+        assert!(ldl_solve(&l, &u, &[1.0], &b).is_err());
+        assert!(ldl_solve(&l, &u, &[1.0, 0.0, 1.0], &b).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Manifold Ranking beyond images: music recommendation.
+//!
+//! The paper's introduction lists music recommendation as another application
+//! of top-k Manifold Ranking [Bu et al., ACM MM 2010]. This example models a
+//! song library as dense audio-attribute vectors (the PubFig-like generator
+//! produces exactly that regime: many artists, unbalanced catalogue sizes)
+//! and recommends songs for a seed track with the same Mogul index used for
+//! image retrieval.
+//!
+//! ```text
+//! cargo run --example music_recommendation --release
+//! ```
+
+use mogul_suite::core::{MogulConfig, MogulIndex, MrParams};
+use mogul_suite::data::faces::{attribute_like, AttributeLikeConfig};
+use mogul_suite::graph::knn::{knn_graph, KnnConfig};
+
+fn main() {
+    // A "song library": 30 artists, 900 tracks, 24 audio attributes
+    // (tempo, energy, valence, ...), catalogue sizes follow a Zipf law.
+    let library = attribute_like(&AttributeLikeConfig {
+        num_people: 30,
+        num_points: 900,
+        dim: 24,
+        within_spread: 0.3,
+        imbalance: 0.9,
+        ..Default::default()
+    })
+    .expect("generate song library");
+    println!(
+        "song library: {} tracks by {} artists",
+        library.len(),
+        library.num_classes()
+    );
+
+    let graph = knn_graph(library.features(), KnnConfig::with_k(5)).expect("similarity graph");
+    let index = MogulIndex::build(
+        &graph,
+        MogulConfig {
+            params: MrParams::default(),
+            ..MogulConfig::default()
+        },
+    )
+    .expect("recommendation index");
+
+    // Recommend for three seed tracks by different artists.
+    for seed in [0usize, 120, 500] {
+        let artist = library.label(seed);
+        let recs = index.search(seed, 8).expect("recommendations");
+        let same_artist = recs
+            .nodes()
+            .iter()
+            .filter(|&&t| library.label(t) == artist)
+            .count();
+        println!(
+            "\nseed track {seed} (artist {artist}): {} recommendations, {} by the same artist",
+            recs.len(),
+            same_artist
+        );
+        for item in recs.items().iter().take(5) {
+            println!(
+                "  track {:4}  artist {:2}  score {:.6}",
+                item.node,
+                library.label(item.node),
+                item.score
+            );
+        }
+    }
+    println!(
+        "\nthe same O(n) index answers every recommendation query; no per-query \
+         matrix inversion is needed"
+    );
+}

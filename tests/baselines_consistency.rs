@@ -1,0 +1,161 @@
+//! Cross-solver consistency: every baseline must agree with the exact
+//! inverse-matrix solution in the regimes where it is supposed to be exact,
+//! and stay close in the regimes where it is approximate.
+
+use mogul_suite::core::{
+    EmrConfig, EmrSolver, FmrConfig, FmrSolver, InverseSolver, IterativeConfig, IterativeSolver,
+    MogulConfig, MogulIndex, MrParams, Ranker,
+};
+use mogul_suite::data::coil::{coil_like, CoilLikeConfig};
+use mogul_suite::eval::metrics::{mean, precision_at_k};
+use mogul_suite::graph::knn::{knn_graph, KnnConfig};
+use mogul_suite::graph::Graph;
+
+fn coil_dataset() -> mogul_suite::data::Dataset {
+    coil_like(&CoilLikeConfig {
+        num_objects: 8,
+        poses_per_object: 20,
+        dim: 16,
+        noise: 0.02,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn iterative_converges_to_the_inverse_solution() {
+    let data = coil_dataset();
+    let graph = knn_graph(data.features(), KnnConfig::with_k(5)).unwrap();
+    let params = MrParams::default();
+    let inverse = InverseSolver::new(&graph, params).unwrap();
+    let iterative = IterativeSolver::new(
+        &graph,
+        params,
+        IterativeConfig {
+            tolerance: 1e-10,
+            max_iterations: 100_000,
+        },
+    )
+    .unwrap();
+    for q in [0usize, 33, 101] {
+        let a = iterative.scores(q).unwrap();
+        let b = inverse.scores(q).unwrap();
+        assert!(mogul_suite::sparse::vector::max_abs_diff(&a, &b).unwrap() < 1e-6);
+    }
+}
+
+#[test]
+fn all_methods_retrieve_reasonable_top_k_sets() {
+    let data = coil_dataset();
+    let graph = knn_graph(data.features(), KnnConfig::with_k(5)).unwrap();
+    let params = MrParams::default();
+    let queries: Vec<usize> = (0..data.len()).step_by(23).collect();
+
+    let inverse = InverseSolver::new(&graph, params).unwrap();
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|&q| inverse.top_k(q, 5).unwrap())
+        .collect();
+
+    let mogul = MogulIndex::build(
+        &graph,
+        MogulConfig {
+            params,
+            ..MogulConfig::default()
+        },
+    )
+    .unwrap();
+    let mogul_e = MogulIndex::build(
+        &graph,
+        MogulConfig {
+            params,
+            ..MogulConfig::exact()
+        },
+    )
+    .unwrap();
+    let emr_small = EmrSolver::new(data.features(), params, EmrConfig::with_anchors(10)).unwrap();
+    let emr_large = EmrSolver::new(data.features(), params, EmrConfig::with_anchors(80)).unwrap();
+
+    let collect_precision = |ranker: &dyn Ranker| -> f64 {
+        let values: Vec<f64> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| precision_at_k(&ranker.top_k(q, 5).unwrap(), &reference[i]))
+            .collect();
+        mean(&values)
+    };
+
+    let p_mogul = collect_precision(&mogul);
+    let p_mogul_e = collect_precision(&mogul_e);
+    let p_emr_small = collect_precision(&emr_small);
+    let p_emr_large = collect_precision(&emr_large);
+
+    // MogulE is exact; Mogul is a close approximation; EMR improves with more
+    // anchors but should not beat Mogul at d = 10 (the paper's Figure 2 shape).
+    assert!(p_mogul_e > 0.99, "MogulE P@5 = {p_mogul_e}");
+    assert!(p_mogul > 0.8, "Mogul P@5 = {p_mogul}");
+    assert!(
+        p_mogul >= p_emr_small - 0.05,
+        "Mogul ({p_mogul}) should not lose clearly to EMR with 10 anchors ({p_emr_small})"
+    );
+    assert!((0.0..=1.0).contains(&p_emr_large));
+}
+
+#[test]
+fn fmr_is_exact_when_the_partition_has_no_cross_edges() {
+    // Two disconnected cliques: any sane partition has zero cross edges, so
+    // FMR (with full-rank blocks) must reproduce the exact solution.
+    let mut graph = Graph::empty(16);
+    for base in [0usize, 8] {
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                graph.add_edge(base + i, base + j, 1.0).unwrap();
+            }
+        }
+    }
+    let params = MrParams::default();
+    let inverse = InverseSolver::new(&graph, params).unwrap();
+    let fmr = FmrSolver::new(
+        &graph,
+        params,
+        FmrConfig {
+            num_clusters: 2,
+            rank: 64,
+            seed: 3,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        fmr.dropped_edges(),
+        0,
+        "spectral clustering should split the two disconnected cliques cleanly"
+    );
+    for q in 0..16 {
+        let a = fmr.scores(q).unwrap();
+        let b = inverse.scores(q).unwrap();
+        assert!(mogul_suite::sparse::vector::max_abs_diff(&a, &b).unwrap() < 1e-8);
+    }
+}
+
+#[test]
+fn solver_names_are_distinct() {
+    let data = coil_dataset();
+    let graph = knn_graph(data.features(), KnnConfig::with_k(5)).unwrap();
+    let params = MrParams::default();
+    let names = vec![
+        InverseSolver::new(&graph, params).unwrap().name(),
+        IterativeSolver::new(&graph, params, IterativeConfig::default())
+            .unwrap()
+            .name(),
+        FmrSolver::new(&graph, params, FmrConfig::default())
+            .unwrap()
+            .name(),
+        EmrSolver::new(data.features(), params, EmrConfig::default())
+            .unwrap()
+            .name(),
+        MogulIndex::build(&graph, MogulConfig::default()).unwrap().name(),
+        MogulIndex::build(&graph, MogulConfig::exact()).unwrap().name(),
+    ];
+    let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
+    assert_eq!(unique.len(), names.len(), "duplicate solver names: {names:?}");
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: full retrieval pipelines over the standard
+//! synthetic dataset suite (data → graph → core → eval).
+
+use mogul_suite::core::{
+    InverseSolver, MogulConfig, MogulIndex, MrParams, Ranker, SearchMode,
+};
+use mogul_suite::data::suite::{standard_suite, SuiteScale};
+use mogul_suite::eval::metrics::{mean, precision_at_k, retrieval_precision};
+use mogul_suite::graph::knn::{knn_graph, KnnConfig};
+
+fn queries(n: usize, count: usize) -> Vec<usize> {
+    (0..count).map(|i| i * n / count).collect()
+}
+
+#[test]
+fn mogul_matches_inverse_closely_on_the_coil_like_dataset() {
+    let suite = standard_suite(SuiteScale::Tiny).unwrap();
+    let coil = &suite[0].dataset;
+    let graph = knn_graph(coil.features(), KnnConfig::with_k(5)).unwrap();
+    let params = MrParams::default();
+
+    let inverse = InverseSolver::new(&graph, params).unwrap();
+    let mogul = MogulIndex::build(
+        &graph,
+        MogulConfig {
+            params,
+            ..MogulConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut p_at_5 = Vec::new();
+    let mut retrieval = Vec::new();
+    for q in queries(coil.len(), 12) {
+        let reference = inverse.top_k(q, 5).unwrap();
+        let approx = mogul.search(q, 5).unwrap();
+        p_at_5.push(precision_at_k(&approx, &reference));
+        retrieval.push(retrieval_precision(&approx, coil.labels(), coil.label(q)).unwrap());
+    }
+    // Section 5.2.1: Mogul's P@k is high and its retrieval precision is
+    // above 90% on COIL-100.
+    assert!(mean(&p_at_5) > 0.8, "mean P@5 too low: {}", mean(&p_at_5));
+    assert!(
+        mean(&retrieval) > 0.9,
+        "mean retrieval precision too low: {}",
+        mean(&retrieval)
+    );
+}
+
+#[test]
+fn every_suite_dataset_supports_the_full_pipeline() {
+    for spec in standard_suite(SuiteScale::Tiny).unwrap() {
+        let data = &spec.dataset;
+        let graph = knn_graph(data.features(), KnnConfig::with_k(5)).unwrap();
+        assert_eq!(graph.num_nodes(), data.len(), "{}", spec.name);
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        assert!(index.ordering().validate());
+
+        // Pruned and unpruned searches return the same answers (Lemma 7).
+        for q in queries(data.len(), 5) {
+            let (pruned, _) = index.search_with_stats(q, 10, SearchMode::Pruned).unwrap();
+            let (unpruned, _) = index.search_with_stats(q, 10, SearchMode::NoPruning).unwrap();
+            assert_eq!(pruned.nodes(), unpruned.nodes(), "{} query {q}", spec.name);
+            assert!(pruned.len() <= 10);
+            assert!(!pruned.contains(q));
+        }
+    }
+}
+
+#[test]
+fn index_memory_grows_roughly_linearly_with_n() {
+    // Theorem 3: O(n) space. Compare the per-node footprint of a small and a
+    // larger COIL-like graph; the ratio should stay bounded (no quadratic blowup).
+    let small = standard_suite(SuiteScale::Tiny).unwrap()[0].dataset.clone();
+    let large = standard_suite(SuiteScale::Small).unwrap()[0].dataset.clone();
+    assert!(large.len() > small.len());
+    let params = MrParams::default();
+    let index_small = MogulIndex::build(
+        &knn_graph(small.features(), KnnConfig::with_k(5)).unwrap(),
+        MogulConfig {
+            params,
+            ..MogulConfig::default()
+        },
+    )
+    .unwrap();
+    let index_large = MogulIndex::build(
+        &knn_graph(large.features(), KnnConfig::with_k(5)).unwrap(),
+        MogulConfig {
+            params,
+            ..MogulConfig::default()
+        },
+    )
+    .unwrap();
+    let per_node_small = index_small.memory_bytes() as f64 / small.len() as f64;
+    let per_node_large = index_large.memory_bytes() as f64 / large.len() as f64;
+    assert!(
+        per_node_large < 3.0 * per_node_small,
+        "per-node footprint grew too fast: {per_node_small:.1} -> {per_node_large:.1} bytes"
+    );
+}
+
+#[test]
+fn mogul_exact_mode_reproduces_the_inverse_answer_on_a_web_like_dataset() {
+    let suite = standard_suite(SuiteScale::Tiny).unwrap();
+    let web = &suite[2].dataset;
+    let graph = knn_graph(web.features(), KnnConfig::with_k(5)).unwrap();
+    let params = MrParams::default();
+    let inverse = InverseSolver::new(&graph, params).unwrap();
+    let exact = MogulIndex::build(
+        &graph,
+        MogulConfig {
+            params,
+            ..MogulConfig::exact()
+        },
+    )
+    .unwrap();
+    for q in queries(web.len(), 4) {
+        let a = exact.all_scores(q).unwrap();
+        let b = inverse.scores(q).unwrap();
+        let err = mogul_suite::sparse::vector::max_abs_diff(&a, &b).unwrap();
+        assert!(err < 1e-8, "query {q}: MogulE error {err}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of Mogul's algorithmic invariants on random graphs.
+
+use mogul_suite::core::{
+    InverseSolver, MogulConfig, MogulIndex, MrParams, Ranker, SearchMode,
+};
+use mogul_suite::graph::Graph;
+use proptest::prelude::*;
+
+/// Build a random connected-ish weighted graph from proptest inputs.
+fn graph_from_edges(n: usize, raw_edges: &[(usize, usize, u8)]) -> Graph {
+    let mut graph = Graph::empty(n);
+    // A spanning chain keeps the graph from being totally disconnected.
+    for i in 1..n {
+        graph.add_edge(i - 1, i, 0.5).unwrap();
+    }
+    for &(a, b, w) in raw_edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let weight = 0.1 + f64::from(w) / 64.0;
+        graph.add_edge(a, b, weight).unwrap();
+    }
+    graph
+}
+
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
+    (6usize..28).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 0u8..64), 0..(2 * n));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 7 safety: the pruned search returns exactly the same nodes as the
+    /// search that scores every cluster.
+    #[test]
+    fn pruning_never_changes_the_answer(
+        (n, edges) in graph_strategy(),
+        query_raw in 0usize..1000,
+        k in 1usize..8,
+        alpha_pct in 50u32..99,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let query = query_raw % n;
+        let params = MrParams::new(f64::from(alpha_pct) / 100.0).unwrap();
+        let index = MogulIndex::build(&graph, MogulConfig { params, ..MogulConfig::default() }).unwrap();
+        let (pruned, stats) = index.search_with_stats(query, k, SearchMode::Pruned).unwrap();
+        let (unpruned, _) = index.search_with_stats(query, k, SearchMode::NoPruning).unwrap();
+        prop_assert_eq!(pruned.nodes(), unpruned.nodes());
+        prop_assert!(stats.clusters_pruned <= stats.clusters_considered);
+    }
+
+    /// MogulE (complete factorization) reproduces the dense inverse solution
+    /// on every graph, not just on the curated test fixtures.
+    #[test]
+    fn exact_mode_matches_the_dense_inverse(
+        (n, edges) in graph_strategy(),
+        query_raw in 0usize..1000,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let query = query_raw % n;
+        let params = MrParams::default();
+        let inverse = InverseSolver::new(&graph, params).unwrap();
+        let exact = MogulIndex::build(&graph, MogulConfig { params, ..MogulConfig::exact() }).unwrap();
+        let a = exact.all_scores(query).unwrap();
+        let b = inverse.scores(query).unwrap();
+        prop_assert!(mogul_suite::sparse::vector::max_abs_diff(&a, &b).unwrap() < 1e-8);
+    }
+
+    /// The approximate scores are finite, the query's own score is positive,
+    /// and the ordering metadata stays structurally valid.
+    #[test]
+    fn approximate_scores_are_well_formed(
+        (n, edges) in graph_strategy(),
+        query_raw in 0usize..1000,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let query = query_raw % n;
+        let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        prop_assert!(index.ordering().validate());
+        let scores = index.scores(query).unwrap();
+        prop_assert_eq!(scores.len(), n);
+        prop_assert!(scores.iter().all(|s| s.is_finite()));
+        prop_assert!(scores[query] > 0.0);
+        // Top-k never contains the query and never exceeds k entries.
+        let top = index.top_k(query, 5).unwrap();
+        prop_assert!(top.len() <= 5);
+        prop_assert!(!top.contains(query));
+    }
+
+    /// The interior blocks of the factor never couple two different interior
+    /// clusters (Lemma 3), for both factorizations.
+    #[test]
+    fn factor_block_structure_holds(
+        (n, edges) in graph_strategy(),
+        exact in proptest::bool::ANY,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let config = if exact { MogulConfig::exact() } else { MogulConfig::default() };
+        let index = MogulIndex::build(&graph, config).unwrap();
+        let ordering = index.ordering();
+        let border = ordering.border_range();
+        for (i, j, v) in index.factor_l().iter() {
+            if i == j || v == 0.0 || border.contains(i) || border.contains(j) {
+                continue;
+            }
+            prop_assert_eq!(
+                ordering.cluster_of_permuted(i),
+                ordering.cluster_of_permuted(j),
+                "cross-cluster entry at ({}, {})", i, j
+            );
+        }
+    }
+}
