@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mogul_core::{
-    EmrConfig, EmrSolver, InverseSolver, IterativeConfig, IterativeSolver, MogulConfig,
-    MogulIndex, MrParams, Ranker,
+    EmrConfig, EmrSolver, InverseSolver, IterativeConfig, IterativeSolver, MogulConfig, MogulIndex,
+    MrParams, Ranker,
 };
 use mogul_data::suite::SuiteScale;
 use mogul_eval::scenarios::{limited_scenarios, ScenarioConfig};
@@ -37,8 +37,8 @@ fn bench_search_time(c: &mut Criterion) {
         EmrConfig::with_anchors(10),
     )
     .expect("emr");
-    let iterative =
-        IterativeSolver::new(&scenario.graph, params, IterativeConfig::default()).expect("iterative");
+    let iterative = IterativeSolver::new(&scenario.graph, params, IterativeConfig::default())
+        .expect("iterative");
     let inverse = InverseSolver::new(&scenario.graph, params).expect("inverse");
 
     let mut group = c.benchmark_group("fig1_search_time");

@@ -26,13 +26,18 @@ fn main() {
     }
     println!();
 
-    let fig1 = fig1_search_time::run(&scenarios, &config, &fig1_search_time::Fig1Options::default())
-        .expect("figure 1");
+    let fig1 = fig1_search_time::run(
+        &scenarios,
+        &config,
+        &fig1_search_time::Fig1Options::default(),
+    )
+    .expect("figure 1");
     println!("{fig1}");
 
     let coil = &limited_scenarios(&config, 1).expect("coil scenario")[0];
-    let points = anchor_sweep::run_sweep(coil, &config, &anchor_sweep::AnchorSweepOptions::default())
-        .expect("anchor sweep");
+    let points =
+        anchor_sweep::run_sweep(coil, &config, &anchor_sweep::AnchorSweepOptions::default())
+            .expect("anchor sweep");
     println!("{}", anchor_sweep::figure2_table(&points));
     println!("{}", anchor_sweep::figure3_table(&points));
     println!("{}", anchor_sweep::figure4_table(&points));
@@ -54,8 +59,12 @@ fn main() {
     println!("{}", fig7_out_of_sample::figure7_table(&oos));
     println!("{}", fig7_out_of_sample::table2(&oos));
 
-    let fig8 = fig8_precompute::run(&scenarios, &config, &fig8_precompute::Fig8Options::default())
-        .expect("figure 8");
+    let fig8 = fig8_precompute::run(
+        &scenarios,
+        &config,
+        &fig8_precompute::Fig8Options::default(),
+    )
+    .expect("figure 8");
     println!("{fig8}");
 
     let fig9 = fig9_case_study::run(coil, &config, &fig9_case_study::Fig9Options::default())

@@ -296,7 +296,12 @@ mod tests {
 
     #[test]
     fn anchor_weights_sum_to_one() {
-        let anchors = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![5.0, 5.0]];
+        let anchors = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+        ];
         let w = anchor_weights(&[0.2, 0.1], &anchors, 3);
         let total: f64 = w.iter().map(|&(_, v)| v).sum();
         assert!((total - 1.0).abs() < 1e-12);
@@ -365,7 +370,10 @@ mod tests {
             .iter()
             .filter(|&&n| data.label(n) == data.label(7))
             .count();
-        assert!(same_object >= 3, "out-of-sample retrieval should find the object");
+        assert!(
+            same_object >= 3,
+            "out-of-sample retrieval should find the object"
+        );
     }
 
     #[test]
@@ -395,7 +403,8 @@ mod tests {
     #[test]
     fn anchors_clamped_to_dataset_size() {
         let feats = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
-        let solver = EmrSolver::new(&feats, MrParams::default(), EmrConfig::with_anchors(50)).unwrap();
+        let solver =
+            EmrSolver::new(&feats, MrParams::default(), EmrConfig::with_anchors(50)).unwrap();
         assert!(solver.num_anchors() <= 3);
         let scores = solver.scores(0).unwrap();
         assert_eq!(scores.len(), 3);

@@ -175,7 +175,8 @@ mod tests {
     #[test]
     fn top_k_and_validation() {
         let g = ring_with_chords();
-        let solver = IterativeSolver::new(&g, MrParams::default(), IterativeConfig::default()).unwrap();
+        let solver =
+            IterativeSolver::new(&g, MrParams::default(), IterativeConfig::default()).unwrap();
         let top = solver.top_k(0, 4).unwrap();
         assert_eq!(top.len(), 4);
         assert!(!top.contains(0));

@@ -240,10 +240,8 @@ impl MogulIndex {
             return Ok(Vec::new());
         }
         let scale = self.params.query_scale();
-        let q_scaled: Vec<(usize, f64)> = q_entries
-            .iter()
-            .map(|&(idx, w)| (idx, w * scale))
-            .collect();
+        let q_scaled: Vec<(usize, f64)> =
+            q_entries.iter().map(|&(idx, w)| (idx, w * scale)).collect();
         let border_idx = self.ordering.border_cluster();
         let query_clusters = self.query_clusters(&q_scaled);
         let mut forward_ranges: Vec<ClusterRange> = query_clusters
@@ -278,10 +276,8 @@ impl MogulIndex {
             return Ok((TopKResult::default(), stats));
         }
         let scale = self.params.query_scale();
-        let q_scaled: Vec<(usize, f64)> = q_entries
-            .iter()
-            .map(|&(idx, w)| (idx, w * scale))
-            .collect();
+        let q_scaled: Vec<(usize, f64)> =
+            q_entries.iter().map(|&(idx, w)| (idx, w * scale)).collect();
 
         let mut collector = TopKCollector::new(k);
         let offer_range = |collector: &mut TopKCollector, range: ClusterRange, x: &[f64]| {
@@ -340,9 +336,7 @@ impl MogulIndex {
             stats.clusters_considered += 1;
             if mode == SearchMode::Pruned {
                 stats.bound_evaluations += 1;
-                let estimate = self
-                    .bounds
-                    .cluster_estimate(ci, range.len, |j| x[j]);
+                let estimate = self.bounds.cluster_estimate(ci, range.len, |j| x[j]);
                 if estimate < collector.threshold() {
                     stats.clusters_pruned += 1;
                     continue;
@@ -578,7 +572,10 @@ mod tests {
         let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
         let scores = index.all_scores(10).unwrap();
         let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!((scores[10] - max).abs() < 1e-9, "query should score highest");
+        assert!(
+            (scores[10] - max).abs() < 1e-9,
+            "query should score highest"
+        );
         // Approximation can introduce small negative values but nothing large.
         assert!(scores.iter().all(|&s| s > -1e-3));
     }

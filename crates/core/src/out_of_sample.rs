@@ -187,8 +187,11 @@ impl OutOfSampleIndex {
             .map(|node| {
                 (
                     node,
-                    mogul_sparse::vector::squared_euclidean_unchecked(feature, &self.features[node])
-                        .sqrt(),
+                    mogul_sparse::vector::squared_euclidean_unchecked(
+                        feature,
+                        &self.features[node],
+                    )
+                    .sqrt(),
                 )
             })
             .collect();
@@ -241,7 +244,11 @@ mod tests {
     use mogul_data::coil::{coil_like, CoilLikeConfig};
     use mogul_graph::knn::{knn_graph, KnnConfig};
 
-    fn build_index() -> (mogul_data::Dataset, Vec<(Vec<f64>, usize)>, OutOfSampleIndex) {
+    fn build_index() -> (
+        mogul_data::Dataset,
+        Vec<(Vec<f64>, usize)>,
+        OutOfSampleIndex,
+    ) {
         let data = coil_like(&CoilLikeConfig {
             num_objects: 6,
             poses_per_object: 16,
@@ -253,12 +260,9 @@ mod tests {
         let (db, queries) = data.split_out_queries(6, 11).unwrap();
         let graph = knn_graph(db.features(), KnnConfig::with_k(5)).unwrap();
         let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
-        let oos = OutOfSampleIndex::new(
-            index,
-            db.features().to_vec(),
-            OutOfSampleConfig::default(),
-        )
-        .unwrap();
+        let oos =
+            OutOfSampleIndex::new(index, db.features().to_vec(), OutOfSampleConfig::default())
+                .unwrap();
         (db, queries, oos)
     }
 

@@ -154,8 +154,14 @@ mod tests {
     #[test]
     fn new_resorts_items() {
         let top = TopKResult::new(vec![
-            RankedNode { node: 2, score: 0.1 },
-            RankedNode { node: 1, score: 0.7 },
+            RankedNode {
+                node: 2,
+                score: 0.1,
+            },
+            RankedNode {
+                node: 1,
+                score: 0.7,
+            },
         ]);
         assert_eq!(top.nodes(), vec![1, 2]);
         assert!(!top.is_empty());

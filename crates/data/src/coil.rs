@@ -150,10 +150,7 @@ mod tests {
     fn deterministic_per_seed() {
         let config = CoilLikeConfig::default();
         assert_eq!(coil_like(&config).unwrap(), coil_like(&config).unwrap());
-        let other = CoilLikeConfig {
-            seed: 1,
-            ..config
-        };
+        let other = CoilLikeConfig { seed: 1, ..config };
         assert_ne!(coil_like(&config).unwrap(), coil_like(&other).unwrap());
     }
 

@@ -22,7 +22,11 @@ pub struct Dataset {
 
 impl Dataset {
     /// Create a dataset, validating shape consistency and finiteness.
-    pub fn new(name: impl Into<String>, features: Vec<Vec<f64>>, labels: Vec<usize>) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+    ) -> Result<Self> {
         if features.len() != labels.len() {
             return Err(DataError::InvalidInput(format!(
                 "{} features but {} labels",
@@ -114,7 +118,11 @@ impl Dataset {
     ///
     /// The held-out points are sampled uniformly at random (deterministically
     /// from `seed`) and returned together with their ground-truth labels.
-    pub fn split_out_queries(&self, num_queries: usize, seed: u64) -> Result<(Dataset, HeldOutQueries)> {
+    pub fn split_out_queries(
+        &self,
+        num_queries: usize,
+        seed: u64,
+    ) -> Result<(Dataset, HeldOutQueries)> {
         if num_queries >= self.len() {
             return Err(DataError::InvalidInput(format!(
                 "cannot hold out {num_queries} queries from {} points",
@@ -124,7 +132,8 @@ impl Dataset {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut indices: Vec<usize> = (0..self.len()).collect();
         indices.shuffle(&mut rng);
-        let held: std::collections::HashSet<usize> = indices[..num_queries].iter().copied().collect();
+        let held: std::collections::HashSet<usize> =
+            indices[..num_queries].iter().copied().collect();
 
         let mut db_features = Vec::with_capacity(self.len() - num_queries);
         let mut db_labels = Vec::with_capacity(self.len() - num_queries);
@@ -157,7 +166,12 @@ mod tests {
     fn toy() -> Dataset {
         Dataset::new(
             "toy",
-            vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![5.0, 5.0]],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![5.0, 5.0],
+            ],
             vec![0, 0, 1, 1],
         )
         .unwrap()

@@ -117,7 +117,11 @@ pub fn attribute_like(config: &AttributeLikeConfig) -> Result<Dataset> {
             .collect();
         for _ in 0..size {
             let noise = normal_vector(&mut rng, config.dim, config.within_spread);
-            let point: Vec<f64> = center.iter().zip(noise.iter()).map(|(c, n)| c + n).collect();
+            let point: Vec<f64> = center
+                .iter()
+                .zip(noise.iter())
+                .map(|(c, n)| c + n)
+                .collect();
             features.push(point);
             labels.push(person);
         }
@@ -180,7 +184,10 @@ mod tests {
     #[test]
     fn deterministic_and_validated() {
         let config = AttributeLikeConfig::default();
-        assert_eq!(attribute_like(&config).unwrap(), attribute_like(&config).unwrap());
+        assert_eq!(
+            attribute_like(&config).unwrap(),
+            attribute_like(&config).unwrap()
+        );
         assert!(attribute_like(&AttributeLikeConfig {
             num_people: 0,
             ..Default::default()

@@ -33,12 +33,12 @@ pub mod suite;
 pub mod synth;
 pub mod web;
 
-pub use coil::{CoilLikeConfig, coil_like};
+pub use coil::{coil_like, CoilLikeConfig};
 pub use dataset::Dataset;
-pub use faces::{AttributeLikeConfig, attribute_like};
-pub use sift::{SiftLikeConfig, sift_like};
+pub use faces::{attribute_like, AttributeLikeConfig};
+pub use sift::{sift_like, SiftLikeConfig};
 pub use suite::{standard_suite, DatasetSpec, SuiteScale};
-pub use web::{WebLikeConfig, web_like};
+pub use web::{web_like, WebLikeConfig};
 
 /// Errors produced by this crate (shared with the sparse substrate).
 pub use mogul_sparse::error::{Result, SparseError as DataError};

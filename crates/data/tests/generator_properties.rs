@@ -40,7 +40,10 @@ fn class_distance_ratio(data: &Dataset) -> (f64, f64) {
 
 fn check_validity(data: &Dataset, expected_len: usize) {
     assert_eq!(data.len(), expected_len);
-    assert!(data.features().iter().all(|f| f.iter().all(|v| v.is_finite())));
+    assert!(data
+        .features()
+        .iter()
+        .all(|f| f.iter().all(|v| v.is_finite())));
     assert_eq!(data.labels().len(), data.len());
     assert!(data.num_classes() >= 1);
 }

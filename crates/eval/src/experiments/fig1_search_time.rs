@@ -48,7 +48,11 @@ impl Default for Fig1Options {
 }
 
 /// Run the Figure 1 measurement over the supplied scenarios.
-pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig1Options) -> Result<Table> {
+pub fn run(
+    scenarios: &[Scenario],
+    config: &ScenarioConfig,
+    options: &Fig1Options,
+) -> Result<Table> {
     let params = config.params()?;
     let mut table = Table::new(
         "Figure 1 - search time per query [wall clock]",

@@ -30,7 +30,11 @@ impl Default for Fig5Options {
 }
 
 /// Run the Figure 5 ablation over the supplied scenarios.
-pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig5Options) -> Result<Table> {
+pub fn run(
+    scenarios: &[Scenario],
+    config: &ScenarioConfig,
+    options: &Fig5Options,
+) -> Result<Table> {
     let params = config.params()?;
     let mut table = Table::new(
         "Figure 5 - effect of the pruning approach (top-5 search time)",
@@ -86,7 +90,9 @@ pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig5Option
             format!("{pruned} / {considered}"),
         ]);
     }
-    table.add_note("Mogul ≤ W/O estimation ≤ Incomplete Cholesky is the shape reported in the paper");
+    table.add_note(
+        "Mogul ≤ W/O estimation ≤ Incomplete Cholesky is the shape reported in the paper",
+    );
     Ok(table)
 }
 

@@ -11,7 +11,9 @@ use crate::scenarios::{Scenario, ScenarioConfig};
 use crate::Result;
 use mogul_core::{MogulConfig, MogulIndex};
 use mogul_graph::ordering::random_ordering;
-use mogul_sparse::stats::{block_diagonal_fraction, density_grid, pattern_stats, render_density_ascii};
+use mogul_sparse::stats::{
+    block_diagonal_fraction, density_grid, pattern_stats, render_density_ascii,
+};
 
 /// Options of the sparsity-pattern experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +34,11 @@ impl Default for Fig6Options {
 }
 
 /// Run the Figure 6 comparison over the supplied scenarios.
-pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig6Options) -> Result<Table> {
+pub fn run(
+    scenarios: &[Scenario],
+    config: &ScenarioConfig,
+    options: &Fig6Options,
+) -> Result<Table> {
     let params = config.params()?;
     let mut table = Table::new(
         "Figure 6 - non-zero structure of matrix L (Mogul ordering vs random ordering)",
@@ -72,7 +78,8 @@ pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig6Option
         ] {
             let l = index.factor_l();
             let stats = pattern_stats(l);
-            let boundaries: Vec<usize> = index.ordering().clusters.iter().map(|c| c.start).collect();
+            let boundaries: Vec<usize> =
+                index.ordering().clusters.iter().map(|c| c.start).collect();
             let block_fraction = block_diagonal_fraction(l, &boundaries);
             table.add_row(vec![
                 scenario.name().to_string(),

@@ -63,7 +63,10 @@ pub fn measure(
     let params = config.params()?;
     let mut out = Vec::new();
     for scenario in scenarios {
-        let holdout = options.num_queries.min(scenario.len().saturating_sub(2)).max(1);
+        let holdout = options
+            .num_queries
+            .min(scenario.len().saturating_sub(2))
+            .max(1);
         let (db, queries) = scenario
             .spec
             .dataset
@@ -77,7 +80,8 @@ pub fn measure(
                 ..MogulConfig::default()
             },
         )?;
-        let oos = OutOfSampleIndex::new(index, db.features().to_vec(), OutOfSampleConfig::default())?;
+        let oos =
+            OutOfSampleIndex::new(index, db.features().to_vec(), OutOfSampleConfig::default())?;
         let emr = EmrSolver::new(
             db.features(),
             params,

@@ -27,7 +27,11 @@ impl Default for Fig8Options {
 }
 
 /// Run the Figure 8 measurement over the supplied scenarios.
-pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig8Options) -> Result<Table> {
+pub fn run(
+    scenarios: &[Scenario],
+    config: &ScenarioConfig,
+    options: &Fig8Options,
+) -> Result<Table> {
     let params = config.params()?;
     let mut table = Table::new(
         "Figure 8 - precomputation time (Mogul ordering vs random ordering)",
@@ -83,7 +87,9 @@ pub fn run(scenarios: &[Scenario], config: &ScenarioConfig, options: &Fig8Option
             format!("{saving:.0}%"),
         ]);
     }
-    table.add_note("'factorization saving' compares only the Incomplete Cholesky step, as Figure 8 does");
+    table.add_note(
+        "'factorization saving' compares only the Incomplete Cholesky step, as Figure 8 does",
+    );
     Ok(table)
 }
 

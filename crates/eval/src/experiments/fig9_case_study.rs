@@ -64,7 +64,11 @@ pub fn run(scenario: &Scenario, config: &ScenarioConfig, options: &Fig9Options) 
     } else {
         options.emr_anchors
     };
-    let emr = EmrSolver::new(data.features(), params, EmrConfig::with_anchors(emr_anchors))?;
+    let emr = EmrSolver::new(
+        data.features(),
+        params,
+        EmrConfig::with_anchors(emr_anchors),
+    )?;
 
     let mut table = Table::new(
         "Figure 9 - retrieval case study (obj<label>, '=' same object as query, '!' different)",
@@ -75,11 +79,8 @@ pub fn run(scenario: &Scenario, config: &ScenarioConfig, options: &Fig9Options) 
         // "Connected": direct neighbours in the k-NN graph, strongest first.
         let mut connected: Vec<(usize, f64)> = scenario.graph.neighbors(query).to_vec();
         connected.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let connected_nodes: Vec<usize> = connected
-            .iter()
-            .take(options.k)
-            .map(|&(n, _)| n)
-            .collect();
+        let connected_nodes: Vec<usize> =
+            connected.iter().take(options.k).map(|&(n, _)| n).collect();
         let mogul_nodes = index.search(query, options.k)?.nodes();
         let emr_nodes = emr.top_k(query, options.k)?.nodes();
         table.add_row(vec![

@@ -17,8 +17,7 @@ pub fn precision_at_k(result: &TopKResult, reference: &TopKResult) -> f64 {
     if result.is_empty() {
         return if reference.is_empty() { 1.0 } else { 0.0 };
     }
-    let reference_set: std::collections::HashSet<usize> =
-        reference.nodes().into_iter().collect();
+    let reference_set: std::collections::HashSet<usize> = reference.nodes().into_iter().collect();
     let hits = result
         .nodes()
         .iter()
@@ -29,7 +28,11 @@ pub fn precision_at_k(result: &TopKResult, reference: &TopKResult) -> f64 {
 
 /// Retrieval precision: fraction of `result` nodes whose ground-truth label
 /// equals `query_label`.
-pub fn retrieval_precision(result: &TopKResult, labels: &[usize], query_label: usize) -> Result<f64> {
+pub fn retrieval_precision(
+    result: &TopKResult,
+    labels: &[usize],
+    query_label: usize,
+) -> Result<f64> {
     if result.is_empty() {
         return Ok(0.0);
     }
@@ -69,7 +72,9 @@ pub fn ndcg(result: &TopKResult, labels: &[usize], query_label: usize) -> Result
     }
     let relevant_total = labels.iter().filter(|&&l| l == query_label).count();
     let ideal_hits = relevant_total.min(result.len());
-    let idcg: f64 = (0..ideal_hits).map(|r| 1.0 / ((r as f64 + 2.0).log2())).sum();
+    let idcg: f64 = (0..ideal_hits)
+        .map(|r| 1.0 / ((r as f64 + 2.0).log2()))
+        .sum();
     if idcg == 0.0 {
         Ok(0.0)
     } else {

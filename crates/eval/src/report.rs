@@ -47,7 +47,10 @@ impl Table {
 
     /// Access a cell (row, column) if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(|s| s.as_str())
     }
 
     /// Column headers.

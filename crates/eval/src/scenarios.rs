@@ -86,9 +86,7 @@ pub fn pick_queries(n: usize, count: usize, seed: u64) -> Vec<usize> {
     }
     let count = count.min(n);
     let offset = (seed as usize) % n;
-    (0..count)
-        .map(|i| (offset + i * n / count) % n)
-        .collect()
+    (0..count).map(|i| (offset + i * n / count) % n).collect()
 }
 
 /// Build all four standard scenarios in the paper's size order.

@@ -51,7 +51,10 @@ pub fn ranking_system_matrix(adjacency: &CsrMatrix, alpha: f64) -> Result<CsrMat
 }
 
 /// Convenience: build `A`, `C` and `W` directly from a graph.
-pub fn ranking_system_from_graph(graph: &Graph, alpha: f64) -> Result<(CsrMatrix, Vec<f64>, CsrMatrix)> {
+pub fn ranking_system_from_graph(
+    graph: &Graph,
+    alpha: f64,
+) -> Result<(CsrMatrix, Vec<f64>, CsrMatrix)> {
     let adjacency = graph.adjacency_matrix();
     let degrees = degree_vector(&adjacency);
     let w = ranking_system_matrix(&adjacency, alpha)?;

@@ -300,7 +300,14 @@ mod tests {
         assert!(kmeans(&[vec![]], &KmeansConfig::with_k(1)).is_err());
         assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], &KmeansConfig::with_k(1)).is_err());
         assert!(kmeans(&[vec![f64::NAN]], &KmeansConfig::with_k(1)).is_err());
-        assert!(kmeans(&[vec![1.0]], &KmeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &[vec![1.0]],
+            &KmeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -117,9 +117,7 @@ impl Graph {
 
     /// `true` if the undirected edge `(u, v)` exists.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.adj[u]
-            .binary_search_by_key(&v, |&(id, _)| id)
-            .is_ok()
+        self.adj[u].binary_search_by_key(&v, |&(id, _)| id).is_ok()
     }
 
     /// Weight of edge `(u, v)`, or `None` if absent.
@@ -176,7 +174,11 @@ impl Graph {
     }
 
     /// Number of edges between `u` and nodes for which `predicate` holds.
-    pub fn count_neighbors_where(&self, u: usize, mut predicate: impl FnMut(usize) -> bool) -> usize {
+    pub fn count_neighbors_where(
+        &self,
+        u: usize,
+        mut predicate: impl FnMut(usize) -> bool,
+    ) -> usize {
         self.adj[u].iter().filter(|&&(v, _)| predicate(v)).count()
     }
 }

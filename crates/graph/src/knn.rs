@@ -154,7 +154,11 @@ pub fn nearest_neighbors(
         .into_iter()
         .map(|c| (c.index, c.distance.sqrt()))
         .collect();
-    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     out
 }
 
@@ -187,11 +191,11 @@ pub fn exact_knn_indices(
         return Ok(results);
     }
     let chunk = n.div_ceil(worker_count);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (chunk_idx, slot) in results.chunks_mut(chunk).enumerate() {
             let start = chunk_idx * chunk;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 for (offset, out) in slot.iter_mut().enumerate() {
                     let i = start + offset;
                     *out = nearest_neighbors(features, &features[i], k, i);
@@ -201,8 +205,7 @@ pub fn exact_knn_indices(
         for h in handles {
             h.join().expect("knn worker thread panicked");
         }
-    })
-    .expect("knn thread scope failed");
+    });
     Ok(results)
 }
 
@@ -283,7 +286,11 @@ pub fn approximate_knn_indices(
             .filter(|&j| j != i)
             .map(|j| (j, squared_distance(&features[i], &features[j]).sqrt()))
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         scored.dedup_by_key(|e| e.0);
         scored.truncate(k);
         results.push(scored);
@@ -333,7 +340,9 @@ pub fn graph_from_neighbor_lists(
 ) -> Result<Graph> {
     let n = neighbor_lists.len();
     let sigma = match weighting {
-        EdgeWeighting::HeatKernel { sigma } => sigma.unwrap_or_else(|| estimate_sigma(neighbor_lists)),
+        EdgeWeighting::HeatKernel { sigma } => {
+            sigma.unwrap_or_else(|| estimate_sigma(neighbor_lists))
+        }
         _ => 1.0,
     };
     if sigma <= 0.0 || !sigma.is_finite() {
@@ -487,17 +496,13 @@ mod tests {
     fn explicit_sigma_is_respected_and_validated() {
         let feats = two_clusters();
         let lists = exact_knn_indices(&feats, 2, 1).unwrap();
-        let g = graph_from_neighbor_lists(
-            &lists,
-            EdgeWeighting::HeatKernel { sigma: Some(0.05) },
-        )
-        .unwrap();
+        let g = graph_from_neighbor_lists(&lists, EdgeWeighting::HeatKernel { sigma: Some(0.05) })
+            .unwrap();
         assert!(g.num_edges() > 0);
-        assert!(graph_from_neighbor_lists(
-            &lists,
-            EdgeWeighting::HeatKernel { sigma: Some(0.0) }
-        )
-        .is_err());
+        assert!(
+            graph_from_neighbor_lists(&lists, EdgeWeighting::HeatKernel { sigma: Some(0.0) })
+                .is_err()
+        );
     }
 
     #[test]

@@ -87,10 +87,7 @@ impl NodeOrdering {
     /// Cluster index of a *permuted* node index.
     pub fn cluster_of_permuted(&self, permuted: usize) -> usize {
         // Clusters are contiguous and ordered; binary search on start offsets.
-        match self
-            .clusters
-            .binary_search_by_key(&permuted, |c| c.start)
-        {
+        match self.clusters.binary_search_by_key(&permuted, |c| c.start) {
             Ok(pos) => {
                 // `permuted` is the start of cluster `pos`, but empty clusters
                 // share start offsets; advance to the cluster that contains it.
@@ -151,7 +148,13 @@ pub fn mogul_ordering(graph: &Graph, clustering: &Clustering) -> Result<NodeOrde
     // id for border nodes.
     let border_id = num_input_clusters;
     let final_label: Vec<usize> = (0..n)
-        .map(|u| if in_border[u] { border_id } else { clustering.label(u) })
+        .map(|u| {
+            if in_border[u] {
+                border_id
+            } else {
+                clustering.label(u)
+            }
+        })
         .collect();
 
     // Within-cluster edge count e(u) with respect to the *final* assignment.
@@ -318,7 +321,13 @@ mod tests {
         // edges and must come last within its cluster.
         let g = Graph::from_edges(
             5,
-            &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0), (1, 2, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (0, 4, 1.0),
+                (1, 2, 1.0),
+            ],
         )
         .unwrap();
         let c = Clustering::single_cluster(5);
@@ -376,7 +385,10 @@ mod tests {
         let rnd = random_ordering(50, 7);
         assert!(rnd.validate());
         assert_eq!(rnd.len(), 50);
-        assert!(!rnd.permutation.is_identity(), "50-element shuffle should move something");
+        assert!(
+            !rnd.permutation.is_identity(),
+            "50-element shuffle should move something"
+        );
         // Same seed → same permutation; different seed → (almost surely) different.
         assert_eq!(random_ordering(50, 7), random_ordering(50, 7));
         assert_ne!(random_ordering(50, 7), random_ordering(50, 8));

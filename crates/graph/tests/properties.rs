@@ -1,7 +1,9 @@
 //! Property-based tests of the graph substrate: clustering invariants and
 //! Algorithm 1 ordering guarantees on random graphs.
 
-use mogul_graph::clustering::modularity::{modularity_clustering, modularity_score, ModularityConfig};
+use mogul_graph::clustering::modularity::{
+    modularity_clustering, modularity_score, ModularityConfig,
+};
 use mogul_graph::clustering::Clustering;
 use mogul_graph::ordering::{mogul_ordering, random_ordering};
 use mogul_graph::Graph;

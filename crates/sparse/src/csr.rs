@@ -504,8 +504,18 @@ mod tests {
         // [ 2 0 1 ]
         // [ 0 3 0 ]
         // [ 1 0 4 ]
-        CsrMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 1.0), (2, 2, 4.0)])
-            .unwrap()
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 1.0),
+                (2, 2, 4.0),
+            ],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -568,7 +578,9 @@ mod tests {
     #[test]
     fn scaling_and_mapping() {
         let m = sample();
-        let scaled = m.scale_rows_cols(&[1.0, 2.0, 3.0], &[1.0, 1.0, 0.5]).unwrap();
+        let scaled = m
+            .scale_rows_cols(&[1.0, 2.0, 3.0], &[1.0, 1.0, 0.5])
+            .unwrap();
         assert_eq!(scaled.get(1, 1), 6.0);
         assert_eq!(scaled.get(2, 2), 6.0);
         assert!(m.scale_rows_cols(&[1.0], &[1.0, 1.0, 1.0]).is_err());
@@ -587,7 +599,12 @@ mod tests {
         assert_eq!(c.get(0, 1), 6.0);
         assert_eq!(c.get(1, 1), 10.0);
         // Cancellation drops the entry.
-        let d = a.add_scaled(-0.5, &CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0)]).unwrap()).unwrap();
+        let d = a
+            .add_scaled(
+                -0.5,
+                &CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0)]).unwrap(),
+            )
+            .unwrap();
         assert_eq!(d.nnz(), 1);
         assert!(a.add_scaled(1.0, &CsrMatrix::identity(3)).is_err());
     }

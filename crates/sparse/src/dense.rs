@@ -547,8 +547,7 @@ mod tests {
     fn lu_requires_square_and_detects_singular() {
         let rect = DenseMatrix::zeros(2, 3);
         assert!(rect.lu().is_err());
-        let singular =
-            DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let singular = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
         assert!(matches!(
             singular.inverse(),
             Err(SparseError::SingularMatrix { .. })

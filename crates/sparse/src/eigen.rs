@@ -157,7 +157,11 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> Result<EigenPairs> {
 
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        diag[b]
+            .partial_cmp(&diag[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = DenseMatrix::zeros(n, n);
@@ -328,7 +332,11 @@ pub fn lanczos_largest<O: LinearOperator>(
     tql2(&mut diag, &mut off, &mut z)?;
 
     let mut order: Vec<usize> = (0..steps).collect();
-    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        diag[b]
+            .partial_cmp(&diag[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let keep = k.min(steps);
 
     let mut values = Vec::with_capacity(keep);

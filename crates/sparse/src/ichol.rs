@@ -252,7 +252,10 @@ mod tests {
         // … and differs only by the dropped fill-in (bounded, off-pattern).
         let diff = recon.max_abs_diff(&w.to_dense()).unwrap();
         assert!(diff > 0.0, "hub-first arrow must drop some fill-in");
-        assert!(diff <= 0.25 + 1e-12, "dropped fill-in larger than expected: {diff}");
+        assert!(
+            diff <= 0.25 + 1e-12,
+            "dropped fill-in larger than expected: {diff}"
+        );
     }
 
     #[test]
@@ -300,12 +303,9 @@ mod tests {
     #[test]
     fn boosts_indefinite_pivots_instead_of_failing() {
         // Indefinite matrix: off-diagonal dominates.
-        let w = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0), (1, 1, 1.0)],
-        )
-        .unwrap();
+        let w =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0), (1, 1, 1.0)])
+                .unwrap();
         let f = incomplete_ldl(&w).unwrap();
         assert!(f.boosted_pivots >= 1);
         assert!(f.d.iter().all(|&v| v > 0.0));

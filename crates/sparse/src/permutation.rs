@@ -199,8 +199,14 @@ mod tests {
         let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
         let inv = p.inverse();
         for old in 0..3 {
-            assert_eq!(inv.old_index(p.new_index(old)), p.new_index(inv.old_index(old)));
-            assert_eq!(inv.new_index(p.old_index(old)), p.old_index(inv.new_index(old)));
+            assert_eq!(
+                inv.old_index(p.new_index(old)),
+                p.new_index(inv.old_index(old))
+            );
+            assert_eq!(
+                inv.new_index(p.old_index(old)),
+                p.old_index(inv.new_index(old))
+            );
         }
         // P composed with its inverse is the identity.
         let composed = p.compose(&inv).unwrap();

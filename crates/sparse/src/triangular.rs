@@ -155,7 +155,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0), (2, 1, 2.0), (2, 2, 4.0)],
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (2, 1, 2.0),
+                (2, 2, 4.0),
+            ],
         )
         .unwrap()
     }
@@ -221,7 +227,13 @@ mod tests {
         let l = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (1, 0, 0.5), (1, 1, 1.0), (2, 1, -0.25), (2, 2, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (1, 0, 0.5),
+                (1, 1, 1.0),
+                (2, 1, -0.25),
+                (2, 2, 1.0),
+            ],
         )
         .unwrap();
         let d = vec![4.0, 2.0, 1.0];

@@ -63,8 +63,14 @@ fn main() {
     );
 
     // One out-of-sample query (a descriptor that was never indexed).
-    let novel: Vec<f64> = dataset.feature(7).iter().map(|v| (v + 3.0).min(255.0)).collect();
-    let oos = engine.query_by_feature(&novel, 10).expect("out-of-sample query");
+    let novel: Vec<f64> = dataset
+        .feature(7)
+        .iter()
+        .map(|v| (v + 3.0).min(255.0))
+        .collect();
+    let oos = engine
+        .query_by_feature(&novel, 10)
+        .expect("out-of-sample query");
     println!(
         "out-of-sample query: {:.1} us nearest-neighbour + {:.1} us top-k, {} results",
         oos.nearest_neighbor_secs * 1e6,

@@ -153,9 +153,17 @@ fn solver_names_are_distinct() {
         EmrSolver::new(data.features(), params, EmrConfig::default())
             .unwrap()
             .name(),
-        MogulIndex::build(&graph, MogulConfig::default()).unwrap().name(),
-        MogulIndex::build(&graph, MogulConfig::exact()).unwrap().name(),
+        MogulIndex::build(&graph, MogulConfig::default())
+            .unwrap()
+            .name(),
+        MogulIndex::build(&graph, MogulConfig::exact())
+            .unwrap()
+            .name(),
     ];
     let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
-    assert_eq!(unique.len(), names.len(), "duplicate solver names: {names:?}");
+    assert_eq!(
+        unique.len(),
+        names.len(),
+        "duplicate solver names: {names:?}"
+    );
 }

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: full retrieval pipelines over the standard
 //! synthetic dataset suite (data → graph → core → eval).
 
-use mogul_suite::core::{
-    InverseSolver, MogulConfig, MogulIndex, MrParams, Ranker, SearchMode,
-};
+use mogul_suite::core::{InverseSolver, MogulConfig, MogulIndex, MrParams, Ranker, SearchMode};
 use mogul_suite::data::suite::{standard_suite, SuiteScale};
 use mogul_suite::eval::metrics::{mean, precision_at_k, retrieval_precision};
 use mogul_suite::graph::knn::{knn_graph, KnnConfig};
@@ -59,7 +57,9 @@ fn every_suite_dataset_supports_the_full_pipeline() {
         // Pruned and unpruned searches return the same answers (Lemma 7).
         for q in queries(data.len(), 5) {
             let (pruned, _) = index.search_with_stats(q, 10, SearchMode::Pruned).unwrap();
-            let (unpruned, _) = index.search_with_stats(q, 10, SearchMode::NoPruning).unwrap();
+            let (unpruned, _) = index
+                .search_with_stats(q, 10, SearchMode::NoPruning)
+                .unwrap();
             assert_eq!(pruned.nodes(), unpruned.nodes(), "{} query {q}", spec.name);
             assert!(pruned.len() <= 10);
             assert!(!pruned.contains(q));
@@ -72,7 +72,9 @@ fn index_memory_grows_roughly_linearly_with_n() {
     // Theorem 3: O(n) space. Compare the per-node footprint of a small and a
     // larger COIL-like graph; the ratio should stay bounded (no quadratic blowup).
     let small = standard_suite(SuiteScale::Tiny).unwrap()[0].dataset.clone();
-    let large = standard_suite(SuiteScale::Small).unwrap()[0].dataset.clone();
+    let large = standard_suite(SuiteScale::Small).unwrap()[0]
+        .dataset
+        .clone();
     assert!(large.len() > small.len());
     let params = MrParams::default();
     let index_small = MogulIndex::build(

@@ -31,8 +31,8 @@ fn out_of_sample_pipeline_retrieves_the_correct_objects() {
         },
     )
     .unwrap();
-    let oos = OutOfSampleIndex::new(index, db.features().to_vec(), OutOfSampleConfig::default())
-        .unwrap();
+    let oos =
+        OutOfSampleIndex::new(index, db.features().to_vec(), OutOfSampleConfig::default()).unwrap();
     let emr = EmrSolver::new(db.features(), params, EmrConfig::with_anchors(20)).unwrap();
 
     let mut mogul_hits = 0usize;
@@ -64,7 +64,10 @@ fn out_of_sample_pipeline_retrieves_the_correct_objects() {
         "Mogul out-of-sample precision too low: {mogul_precision}"
     );
     // Not a strict ordering requirement, but both must produce signal.
-    assert!(emr_precision > 0.2, "EMR out-of-sample precision suspicious: {emr_precision}");
+    assert!(
+        emr_precision > 0.2,
+        "EMR out-of-sample precision suspicious: {emr_precision}"
+    );
 }
 
 #[test]

@@ -1,8 +1,6 @@
 //! Property-based tests of Mogul's algorithmic invariants on random graphs.
 
-use mogul_suite::core::{
-    InverseSolver, MogulConfig, MogulIndex, MrParams, Ranker, SearchMode,
-};
+use mogul_suite::core::{InverseSolver, MogulConfig, MogulIndex, MrParams, Ranker, SearchMode};
 use mogul_suite::graph::Graph;
 use proptest::prelude::*;
 
