@@ -1,4 +1,4 @@
-//! The EMR baseline (Xu et al. [21]): anchor-graph Manifold Ranking.
+//! The EMR baseline (Xu et al. \[21\]): anchor-graph Manifold Ranking.
 //!
 //! EMR represents every data point as a convex combination of `d ≪ n` anchor
 //! points (selected by k-means) with Nadaraya–Watson weights under the

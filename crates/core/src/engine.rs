@@ -8,8 +8,8 @@
 //! factorization → centroids) and the engine then answers both in-database
 //! and out-of-sample queries.
 
-use crate::mogul::{Factorization, MogulConfig, MogulIndex, PrecomputeStats};
-use crate::out_of_sample::{OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
+use crate::mogul::{Factorization, MogulConfig, MogulIndex, PrecomputeStats, SearchWorkspace};
+use crate::out_of_sample::{OosWorkspace, OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
 use crate::params::MrParams;
 use crate::ranking::TopKResult;
 use crate::{CoreError, Result};
@@ -97,6 +97,21 @@ impl RetrievalEngineBuilder {
         let graph = match self.graph {
             GraphConstruction::Exact => knn_graph(&features, knn_config)?,
             GraphConstruction::Approximate { partitions, probes } => {
+                // The low-level builder silently clamps out-of-range values;
+                // at this level a nonsensical configuration is a caller bug
+                // and deserves a loud, descriptive error.
+                if partitions == 0 || probes == 0 {
+                    return Err(CoreError::InvalidInput(format!(
+                        "approximate graph construction needs at least one partition and one \
+                         probe (got partitions = {partitions}, probes = {probes})"
+                    )));
+                }
+                if probes > partitions {
+                    return Err(CoreError::InvalidInput(format!(
+                        "approximate graph construction cannot probe {probes} partitions when \
+                         only {partitions} exist (probes must be ≤ partitions)"
+                    )));
+                }
                 approximate_knn_graph(&features, knn_config, partitions, probes, self.seed)?
             }
         };
@@ -121,6 +136,26 @@ impl RetrievalEngineBuilder {
 }
 
 /// A ready-to-query retrieval engine over a fixed collection of items.
+///
+/// The engine is immutable after construction and `Send + Sync`, so one
+/// instance can be shared across threads (see the `mogul-serve` crate for a
+/// ready-made concurrent serving layer on top of it).
+///
+/// ```
+/// use mogul_core::RetrievalEngine;
+///
+/// // Twelve items along a line: nearby items rank highest.
+/// let features: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 0.0]).collect();
+/// let engine = RetrievalEngine::builder().knn_k(3).build(features)?;
+///
+/// let top = engine.query_by_id(0, 3)?;       // query with an indexed item
+/// assert_eq!(top.len(), 3);
+/// assert!(!top.contains(0));                 // the query itself is excluded
+///
+/// let oos = engine.query_by_feature(&[2.5, 0.0], 3)?; // query with a new vector
+/// assert_eq!(oos.top_k.len(), 3);
+/// # Ok::<(), mogul_core::CoreError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct RetrievalEngine {
     oos: OutOfSampleIndex,
@@ -147,6 +182,18 @@ impl RetrievalEngine {
         self.oos.index()
     }
 
+    /// The underlying out-of-sample index (Mogul index + database features
+    /// and per-cluster centroids).
+    pub fn out_of_sample(&self) -> &OutOfSampleIndex {
+        &self.oos
+    }
+
+    /// Consume the engine, yielding the out-of-sample index — the form the
+    /// `mogul-serve` crate shares behind an `Arc` across query workers.
+    pub fn into_out_of_sample(self) -> OutOfSampleIndex {
+        self.oos
+    }
+
     /// Precomputation statistics of the underlying index.
     pub fn precompute_stats(&self) -> PrecomputeStats {
         self.oos.index().precompute_stats()
@@ -158,9 +205,32 @@ impl RetrievalEngine {
         self.oos.index().search(item, k)
     }
 
+    /// [`RetrievalEngine::query_by_id`] with caller-owned scratch:
+    /// bit-identical results, zero allocation on the hot substitution and
+    /// pruning path once the workspace is warm.
+    pub fn query_by_id_in(
+        &self,
+        ws: &mut SearchWorkspace,
+        item: usize,
+        k: usize,
+    ) -> Result<TopKResult> {
+        self.oos.index().search_in(ws, item, k)
+    }
+
     /// Top-k items for an arbitrary feature vector (out-of-sample query).
     pub fn query_by_feature(&self, feature: &[f64], k: usize) -> Result<OutOfSampleResult> {
         self.oos.query(feature, k)
+    }
+
+    /// [`RetrievalEngine::query_by_feature`] with caller-owned scratch (see
+    /// [`OosWorkspace`]).
+    pub fn query_by_feature_in(
+        &self,
+        ws: &mut OosWorkspace,
+        feature: &[f64],
+        k: usize,
+    ) -> Result<OutOfSampleResult> {
+        self.oos.query_in(ws, feature, k)
     }
 }
 
@@ -235,5 +305,48 @@ mod tests {
         assert!(RetrievalEngine::builder().build(vec![]).is_err());
         let (_, feats) = features();
         assert!(RetrievalEngine::builder().alpha(1.5).build(feats).is_err());
+    }
+
+    #[test]
+    fn approximate_graph_parameters_are_validated() {
+        let (_, feats) = features();
+        // probes > partitions used to silently degrade (the low-level builder
+        // clamps); the engine now rejects it up front with a clear message.
+        for (partitions, probes) in [(4, 5), (0, 1), (4, 0), (0, 0)] {
+            let err = RetrievalEngine::builder()
+                .approximate_graph(partitions, probes)
+                .build(feats.clone())
+                .unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("partition") || msg.contains("probe"),
+                "unhelpful error for partitions={partitions}, probes={probes}: {msg}"
+            );
+        }
+        // A valid configuration still builds.
+        assert!(RetrievalEngine::builder()
+            .approximate_graph(5, 5)
+            .build(feats)
+            .is_ok());
+    }
+
+    #[test]
+    fn workspace_entry_points_match_allocating_queries() {
+        let (data, feats) = features();
+        let engine = RetrievalEngine::builder().build(feats).unwrap();
+        let mut search_ws = crate::mogul::SearchWorkspace::new();
+        let mut oos_ws = OosWorkspace::new();
+        for item in [0usize, 5, 17] {
+            assert_eq!(
+                engine.query_by_id(item, 4).unwrap(),
+                engine.query_by_id_in(&mut search_ws, item, 4).unwrap()
+            );
+        }
+        let fresh = engine.query_by_feature(data.feature(3), 4).unwrap();
+        let reused = engine
+            .query_by_feature_in(&mut oos_ws, data.feature(3), 4)
+            .unwrap();
+        assert_eq!(fresh.top_k, reused.top_k);
+        assert_eq!(fresh.neighbors, reused.neighbors);
     }
 }

@@ -1,4 +1,4 @@
-//! The FMR baseline (He et al. [8]): block-wise low-rank Manifold Ranking.
+//! The FMR baseline (He et al. \[8\]): block-wise low-rank Manifold Ranking.
 //!
 //! FMR partitions the k-NN graph with spectral clustering, assumes the
 //! adjacency matrix is block diagonal with respect to that partition (edges

@@ -22,7 +22,7 @@
 //! All solvers implement the [`Ranker`] trait so the evaluation harness can
 //! treat them uniformly.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Index-based loops mirror the forward/back-substitution recurrences of the paper.
 #![allow(clippy::needless_range_loop)]
 
@@ -41,8 +41,11 @@ pub use engine::{RetrievalEngine, RetrievalEngineBuilder};
 pub use exact::InverseSolver;
 pub use fmr::{FmrConfig, FmrSolver};
 pub use iterative::{IterativeConfig, IterativeSolver};
-pub use mogul::{Factorization, MogulConfig, MogulIndex, PrecomputeStats, SearchMode, SearchStats};
-pub use out_of_sample::{OutOfSampleIndex, OutOfSampleResult};
+pub use mogul::{
+    Factorization, MogulConfig, MogulIndex, PrecomputeStats, SearchMode, SearchStats,
+    SearchWorkspace,
+};
+pub use out_of_sample::{OosWorkspace, OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
 pub use params::MrParams;
 pub use ranking::{RankedNode, Ranker, TopKResult};
 

@@ -24,4 +24,4 @@ mod search;
 
 pub use bounds::ClusterBounds;
 pub use index::{Factorization, MogulConfig, MogulIndex, PrecomputeStats};
-pub use search::{SearchMode, SearchStats};
+pub use search::{SearchMode, SearchStats, SearchWorkspace};

@@ -13,6 +13,12 @@
 //!
 //! The search also supports weighted multi-node query vectors, which is how
 //! out-of-sample queries are processed (Section 4.6.2).
+//!
+//! Every entry point comes in two flavours: a convenient allocating form
+//! ([`MogulIndex::search`], …) and a `*_in` form taking a caller-owned
+//! [`SearchWorkspace`] so repeated queries reuse the `O(n)` scratch vectors —
+//! the form the concurrent serving layer (`mogul-serve`) runs per worker.
+//! Both produce bit-identical results.
 
 use crate::mogul::index::{Factorization, MogulIndex};
 use crate::ranking::{check_k, check_query, RankedNode, Ranker, TopKResult};
@@ -48,6 +54,58 @@ pub struct SearchStats {
     pub bound_evaluations: usize,
 }
 
+/// Reusable per-query scratch for Algorithm 2.
+///
+/// One search touches three `O(n)` vectors (the densified query vector, the
+/// forward-substitution result `y` and the score vector `x'`) plus a handful
+/// of small per-query lists. Allocating them fresh per query is fine for
+/// one-off use, but a serving loop answering thousands of queries per second
+/// wants them reused: pass the same workspace to the `*_in` entry points
+/// ([`MogulIndex::search_in`], [`MogulIndex::search_weighted_in`], …) and the
+/// hot substitution/pruning path performs zero heap allocations after the
+/// buffers have grown to the index size once.
+///
+/// A workspace is an inert buffer bag: it carries no index state, any
+/// workspace works with any index, and a fresh workspace behaves identically
+/// to a warm one (results are bit-identical either way).
+#[derive(Debug, Clone, Default)]
+pub struct SearchWorkspace {
+    /// Densified (scattered) query vector `q'`, zeroed between queries.
+    q_vec: Vec<f64>,
+    /// Forward-substitution result `y` of `L' y = q'`.
+    y: Vec<f64>,
+    /// Score vector `x'` of `U x' = y`, zeroed between queries.
+    x: Vec<f64>,
+    /// Scaled sparse query entries `(index, (1-α)·w)`.
+    q_scaled: Vec<(usize, f64)>,
+    /// Permuted sparse query entries for weighted (multi-node) queries.
+    permuted: Vec<(usize, f64)>,
+    /// Cluster ranges visited by the restricted forward substitution.
+    forward_ranges: Vec<ClusterRange>,
+    /// Deduplicated interior clusters touched by the query.
+    query_clusters: Vec<usize>,
+    /// Backing storage of the top-k heap, recycled between queries.
+    heap_buf: Vec<HeapEntry>,
+}
+
+impl SearchWorkspace {
+    /// An empty workspace; buffers grow to the index size on first use.
+    pub fn new() -> Self {
+        SearchWorkspace::default()
+    }
+
+    /// A workspace whose three `O(n)` vectors are pre-sized for an index
+    /// over `n` nodes (the small per-query lists still grow on first use).
+    pub fn with_capacity(n: usize) -> Self {
+        SearchWorkspace {
+            q_vec: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            x: Vec::with_capacity(n),
+            ..SearchWorkspace::default()
+        }
+    }
+}
+
 /// Min-heap based top-k collector mirroring Algorithm 2's set `K`: it starts
 /// with `k` implicit dummy nodes of score 0, so the threshold `θ` is never
 /// negative and nodes with negative approximate scores are ignored.
@@ -56,7 +114,7 @@ struct TopKCollector {
     heap: BinaryHeap<HeapEntry>,
 }
 
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct HeapEntry {
     score: f64,
     node: usize,
@@ -82,11 +140,13 @@ impl Ord for HeapEntry {
 }
 
 impl TopKCollector {
-    fn new(k: usize) -> Self {
-        TopKCollector {
-            k,
-            heap: BinaryHeap::with_capacity(k + 1),
-        }
+    /// Build a collector on top of a recycled heap buffer (cleared here); the
+    /// buffer is handed back by [`TopKCollector::finish`].
+    fn with_buffer(k: usize, buf: Vec<HeapEntry>) -> Self {
+        let mut heap = BinaryHeap::from(buf);
+        heap.clear();
+        heap.reserve(k + 1);
+        TopKCollector { k, heap }
     }
 
     /// Current threshold `θ`: the lowest score in `K` (0 while dummies remain).
@@ -108,16 +168,19 @@ impl TopKCollector {
         }
     }
 
-    fn into_result(self) -> TopKResult {
-        TopKResult::new(
-            self.heap
-                .into_iter()
+    /// Extract the result and return the (cleared) heap buffer for reuse.
+    fn finish(self) -> (TopKResult, Vec<HeapEntry>) {
+        let mut buf = self.heap.into_vec();
+        let result = TopKResult::new(
+            buf.iter()
                 .map(|e| RankedNode {
                     node: e.node,
                     score: e.score,
                 })
                 .collect(),
-        )
+        );
+        buf.clear();
+        (result, buf)
     }
 }
 
@@ -125,8 +188,25 @@ impl MogulIndex {
     /// Top-k search for an in-database query node using the full Algorithm 2
     /// (restricted substitution + pruning). The query node itself is excluded
     /// from the result.
+    ///
+    /// Allocates fresh scratch per call; loops that answer many queries
+    /// should reuse a [`SearchWorkspace`] via [`MogulIndex::search_in`].
     pub fn search(&self, query: usize, k: usize) -> Result<TopKResult> {
-        Ok(self.search_with_stats(query, k, SearchMode::Pruned)?.0)
+        self.search_in(&mut SearchWorkspace::new(), query, k)
+    }
+
+    /// [`MogulIndex::search`] with caller-owned scratch: bit-identical
+    /// results, zero heap allocation on the substitution/pruning path once
+    /// the workspace is warm.
+    pub fn search_in(
+        &self,
+        ws: &mut SearchWorkspace,
+        query: usize,
+        k: usize,
+    ) -> Result<TopKResult> {
+        Ok(self
+            .search_with_stats_in(ws, query, k, SearchMode::Pruned)?
+            .0)
     }
 
     /// Top-k search with an explicit [`SearchMode`] and work counters.
@@ -136,10 +216,23 @@ impl MogulIndex {
         k: usize,
         mode: SearchMode,
     ) -> Result<(TopKResult, SearchStats)> {
+        self.search_with_stats_in(&mut SearchWorkspace::new(), query, k, mode)
+    }
+
+    /// [`MogulIndex::search_with_stats`] with caller-owned scratch.
+    pub fn search_with_stats_in(
+        &self,
+        ws: &mut SearchWorkspace,
+        query: usize,
+        k: usize,
+        mode: SearchMode,
+    ) -> Result<(TopKResult, SearchStats)> {
         check_query(query, self.num_nodes())?;
         check_k(k)?;
         let permuted_query = self.ordering.permutation.new_index(query);
-        self.search_permuted(&[(permuted_query, 1.0)], k, mode, Some(permuted_query))
+        ws.permuted.clear();
+        ws.permuted.push((permuted_query, 1.0));
+        self.search_permuted(ws, k, mode, Some(permuted_query))
     }
 
     /// Top-k search for a weighted query vector given in *original* node ids
@@ -150,8 +243,19 @@ impl MogulIndex {
         k: usize,
         mode: SearchMode,
     ) -> Result<(TopKResult, SearchStats)> {
+        self.search_weighted_in(&mut SearchWorkspace::new(), query_weights, k, mode)
+    }
+
+    /// [`MogulIndex::search_weighted`] with caller-owned scratch.
+    pub fn search_weighted_in(
+        &self,
+        ws: &mut SearchWorkspace,
+        query_weights: &[(usize, f64)],
+        k: usize,
+        mode: SearchMode,
+    ) -> Result<(TopKResult, SearchStats)> {
         check_k(k)?;
-        let mut permuted: Vec<(usize, f64)> = Vec::with_capacity(query_weights.len());
+        ws.permuted.clear();
         for &(node, weight) in query_weights {
             check_query(node, self.num_nodes())?;
             if !weight.is_finite() {
@@ -159,33 +263,52 @@ impl MogulIndex {
                     "query weight for node {node} is not finite"
                 )));
             }
-            permuted.push((self.ordering.permutation.new_index(node), weight));
+            ws.permuted
+                .push((self.ordering.permutation.new_index(node), weight));
         }
-        self.search_permuted(&permuted, k, mode, None)
+        self.search_permuted(ws, k, mode, None)
     }
 
     /// Approximate ranking scores of **all** nodes (original node order),
     /// computed without pruning. This is what the accuracy experiments
     /// (P@k, retrieval precision) consume.
     pub fn all_scores(&self, query: usize) -> Result<Vec<f64>> {
+        self.all_scores_in(&mut SearchWorkspace::new(), query)
+    }
+
+    /// [`MogulIndex::all_scores`] with caller-owned scratch (the returned
+    /// score vector itself is still freshly allocated).
+    pub fn all_scores_in(&self, ws: &mut SearchWorkspace, query: usize) -> Result<Vec<f64>> {
         check_query(query, self.num_nodes())?;
         let permuted_query = self.ordering.permutation.new_index(query);
-        let x = self.scores_permuted(&[(permuted_query, 1.0)])?;
-        self.ordering.permutation.unpermute_vec(&x)
+        ws.permuted.clear();
+        ws.permuted.push((permuted_query, 1.0));
+        self.scores_permuted(ws)?;
+        self.ordering.permutation.unpermute_vec(&ws.x)
     }
 
     // ----------------------------------------------------------------------
     // Internals
     // ----------------------------------------------------------------------
 
-    /// Forward substitution `L' y = q'` restricted to `ranges` (ascending).
-    fn forward_selected(&self, q_scaled: &[(usize, f64)], ranges: &[ClusterRange]) -> Vec<f64> {
+    /// Forward substitution `L' y = q'` restricted to `ranges` (ascending),
+    /// writing into caller-owned buffers: `q_vec` receives the densified
+    /// query vector and `y` the substitution result (both zeroed here).
+    fn forward_selected(
+        &self,
+        q_scaled: &[(usize, f64)],
+        ranges: &[ClusterRange],
+        q_vec: &mut Vec<f64>,
+        y: &mut Vec<f64>,
+    ) {
         let n = self.num_nodes();
-        let mut q_vec = vec![0.0; n];
+        q_vec.clear();
+        q_vec.resize(n, 0.0);
         for &(idx, value) in q_scaled {
             q_vec[idx] += value;
         }
-        let mut y = vec![0.0; n];
+        y.clear();
+        y.resize(n, 0.0);
         let d = &self.factors.d;
         for range in ranges {
             for i in range.indices() {
@@ -199,7 +322,6 @@ impl MogulIndex {
                 y[i] = sum / d[i];
             }
         }
-        y
     }
 
     /// Back substitution `U x' = y` restricted to one cluster range; assumes
@@ -219,53 +341,65 @@ impl MogulIndex {
     }
 
     /// The interior clusters touched by the query vector (deduplicated,
-    /// ascending), excluding the border cluster.
-    fn query_clusters(&self, q_entries: &[(usize, f64)]) -> Vec<usize> {
+    /// ascending), excluding the border cluster, written into `out`.
+    fn query_clusters_into(&self, q_entries: &[(usize, f64)], out: &mut Vec<usize>) {
         let border_idx = self.ordering.border_cluster();
-        let mut clusters: Vec<usize> = q_entries
-            .iter()
-            .map(|&(idx, _)| self.ordering.cluster_of_permuted(idx))
-            .filter(|&c| c != border_idx)
-            .collect();
-        clusters.sort_unstable();
-        clusters.dedup();
-        clusters
+        out.clear();
+        out.extend(
+            q_entries
+                .iter()
+                .map(|&(idx, _)| self.ordering.cluster_of_permuted(idx))
+                .filter(|&c| c != border_idx),
+        );
+        out.sort_unstable();
+        out.dedup();
     }
 
-    /// Scores of all nodes in permuted order, computed with the restricted
-    /// forward pass and an unrestricted (every cluster) backward pass.
-    fn scores_permuted(&self, q_entries: &[(usize, f64)]) -> Result<Vec<f64>> {
+    /// Scale the query entries in `ws.permuted` by `(1 − α)` into
+    /// `ws.q_scaled` and collect the touched interior clusters.
+    fn prepare_query(&self, ws: &mut SearchWorkspace) {
+        let scale = self.params.query_scale();
+        ws.q_scaled.clear();
+        ws.q_scaled
+            .extend(ws.permuted.iter().map(|&(idx, w)| (idx, w * scale)));
+        self.query_clusters_into(&ws.q_scaled, &mut ws.query_clusters);
+    }
+
+    /// Scores of all nodes in permuted order (left in `ws.x`), computed with
+    /// the restricted forward pass and an unrestricted (every cluster)
+    /// backward pass. The query entries are read from `ws.permuted`.
+    fn scores_permuted(&self, ws: &mut SearchWorkspace) -> Result<()> {
         let n = self.num_nodes();
         if n == 0 {
-            return Ok(Vec::new());
+            ws.x.clear();
+            return Ok(());
         }
-        let scale = self.params.query_scale();
-        let q_scaled: Vec<(usize, f64)> =
-            q_entries.iter().map(|&(idx, w)| (idx, w * scale)).collect();
+        self.prepare_query(ws);
         let border_idx = self.ordering.border_cluster();
-        let query_clusters = self.query_clusters(&q_scaled);
-        let mut forward_ranges: Vec<ClusterRange> = query_clusters
-            .iter()
-            .map(|&c| self.ordering.clusters[c])
-            .collect();
-        forward_ranges.push(self.ordering.clusters[border_idx]);
-        let y = self.forward_selected(&q_scaled, &forward_ranges);
+        ws.forward_ranges.clear();
+        for &c in &ws.query_clusters {
+            ws.forward_ranges.push(self.ordering.clusters[c]);
+        }
+        ws.forward_ranges.push(self.ordering.clusters[border_idx]);
+        self.forward_selected(&ws.q_scaled, &ws.forward_ranges, &mut ws.q_vec, &mut ws.y);
 
-        let mut x = vec![0.0; n];
-        self.back_substitute_range(self.ordering.clusters[border_idx], &y, &mut x);
+        ws.x.clear();
+        ws.x.resize(n, 0.0);
+        self.back_substitute_range(self.ordering.clusters[border_idx], &ws.y, &mut ws.x);
         for (ci, &range) in self.ordering.clusters.iter().enumerate() {
             if ci == border_idx {
                 continue;
             }
-            self.back_substitute_range(range, &y, &mut x);
+            self.back_substitute_range(range, &ws.y, &mut ws.x);
         }
-        Ok(x)
+        Ok(())
     }
 
-    /// Algorithm 2 proper, over a permuted weighted query vector.
+    /// Algorithm 2 proper, over the permuted weighted query vector held in
+    /// `ws.permuted`.
     fn search_permuted(
         &self,
-        q_entries: &[(usize, f64)],
+        ws: &mut SearchWorkspace,
         k: usize,
         mode: SearchMode,
         exclude_permuted: Option<usize>,
@@ -275,11 +409,9 @@ impl MogulIndex {
         if n == 0 {
             return Ok((TopKResult::default(), stats));
         }
-        let scale = self.params.query_scale();
-        let q_scaled: Vec<(usize, f64)> =
-            q_entries.iter().map(|&(idx, w)| (idx, w * scale)).collect();
+        self.prepare_query(ws);
 
-        let mut collector = TopKCollector::new(k);
+        let mut collector = TopKCollector::with_buffer(k, std::mem::take(&mut ws.heap_buf));
         let offer_range = |collector: &mut TopKCollector, range: ClusterRange, x: &[f64]| {
             for i in range.indices() {
                 if Some(i) == exclude_permuted {
@@ -288,66 +420,75 @@ impl MogulIndex {
                 collector.offer(self.ordering.permutation.old_index(i), x[i]);
             }
         };
+        let finish = |collector: TopKCollector, ws: &mut SearchWorkspace, stats| {
+            let (result, buf) = collector.finish();
+            ws.heap_buf = buf;
+            Ok((result, stats))
+        };
 
         if mode == SearchMode::FullSubstitution {
             // Ignore the sparse structure entirely: one pass of forward and
             // back substitution over every node.
             let full = ClusterRange { start: 0, len: n };
-            let y = self.forward_selected(&q_scaled, &[full]);
-            let mut x = vec![0.0; n];
-            self.back_substitute_range(full, &y, &mut x);
+            ws.forward_ranges.clear();
+            ws.forward_ranges.push(full);
+            self.forward_selected(&ws.q_scaled, &ws.forward_ranges, &mut ws.q_vec, &mut ws.y);
+            ws.x.clear();
+            ws.x.resize(n, 0.0);
+            self.back_substitute_range(full, &ws.y, &mut ws.x);
             stats.nodes_scored = n;
-            offer_range(&mut collector, full, &x);
-            return Ok((collector.into_result(), stats));
+            offer_range(&mut collector, full, &ws.x);
+            return finish(collector, ws, stats);
         }
 
         let border_idx = self.ordering.border_cluster();
         let border_range = self.ordering.clusters[border_idx];
-        let query_clusters = self.query_clusters(&q_scaled);
 
         // Forward substitution restricted to C_Q ∪ C_N (Lemma 4).
-        let mut forward_ranges: Vec<ClusterRange> = query_clusters
-            .iter()
-            .map(|&c| self.ordering.clusters[c])
-            .collect();
-        forward_ranges.push(border_range);
-        let y = self.forward_selected(&q_scaled, &forward_ranges);
+        ws.forward_ranges.clear();
+        for &c in &ws.query_clusters {
+            ws.forward_ranges.push(self.ordering.clusters[c]);
+        }
+        ws.forward_ranges.push(border_range);
+        self.forward_selected(&ws.q_scaled, &ws.forward_ranges, &mut ws.q_vec, &mut ws.y);
 
         // Back substitution for C_N first (its scores feed every other
         // cluster via Lemma 5), then for the query clusters.
-        let mut x = vec![0.0; n];
-        self.back_substitute_range(border_range, &y, &mut x);
+        ws.x.clear();
+        ws.x.resize(n, 0.0);
+        self.back_substitute_range(border_range, &ws.y, &mut ws.x);
         stats.nodes_scored += border_range.len;
-        for &c in &query_clusters {
+        for &c in &ws.query_clusters {
             let range = self.ordering.clusters[c];
-            self.back_substitute_range(range, &y, &mut x);
+            self.back_substitute_range(range, &ws.y, &mut ws.x);
             stats.nodes_scored += range.len;
         }
-        offer_range(&mut collector, border_range, &x);
-        for &c in &query_clusters {
-            offer_range(&mut collector, self.ordering.clusters[c], &x);
+        offer_range(&mut collector, border_range, &ws.x);
+        for &c in &ws.query_clusters {
+            offer_range(&mut collector, self.ordering.clusters[c], &ws.x);
         }
 
         // Remaining interior clusters: prune or score.
         for (ci, &range) in self.ordering.clusters.iter().enumerate() {
-            if ci == border_idx || query_clusters.contains(&ci) || range.is_empty() {
+            if ci == border_idx || ws.query_clusters.contains(&ci) || range.is_empty() {
                 continue;
             }
             stats.clusters_considered += 1;
             if mode == SearchMode::Pruned {
                 stats.bound_evaluations += 1;
+                let x = &ws.x;
                 let estimate = self.bounds.cluster_estimate(ci, range.len, |j| x[j]);
                 if estimate < collector.threshold() {
                     stats.clusters_pruned += 1;
                     continue;
                 }
             }
-            self.back_substitute_range(range, &y, &mut x);
+            self.back_substitute_range(range, &ws.y, &mut ws.x);
             stats.nodes_scored += range.len;
-            offer_range(&mut collector, range, &x);
+            offer_range(&mut collector, range, &ws.x);
         }
 
-        Ok((collector.into_result(), stats))
+        finish(collector, ws, stats)
     }
 }
 
@@ -519,6 +660,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_allocating_search() {
+        // One workspace reused across queries, k values, modes and even two
+        // different indices (Mogul and MogulE) must reproduce the allocating
+        // API bit for bit — scores compared with exact equality.
+        let (_, graph) = coil_graph();
+        let approx = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+        let exact = MogulIndex::build(&graph, MogulConfig::exact()).unwrap();
+        let mut ws = SearchWorkspace::new();
+        for index in [&approx, &exact] {
+            for query in [0usize, 13, 51, 107] {
+                for mode in [
+                    SearchMode::Pruned,
+                    SearchMode::NoPruning,
+                    SearchMode::FullSubstitution,
+                ] {
+                    let (fresh, fresh_stats) = index.search_with_stats(query, 5, mode).unwrap();
+                    let (reused, reused_stats) =
+                        index.search_with_stats_in(&mut ws, query, 5, mode).unwrap();
+                    assert_eq!(fresh, reused, "query {query}, mode {mode:?}");
+                    assert_eq!(fresh_stats, reused_stats);
+                }
+                assert_eq!(
+                    index.all_scores(query).unwrap(),
+                    index.all_scores_in(&mut ws, query).unwrap()
+                );
+            }
+            let weighted = [(3usize, 0.5), (20usize, 0.5)];
+            let (fresh, _) = index
+                .search_weighted(&weighted, 4, SearchMode::Pruned)
+                .unwrap();
+            let (reused, _) = index
+                .search_weighted_in(&mut ws, &weighted, 4, SearchMode::Pruned)
+                .unwrap();
+            assert_eq!(fresh, reused);
+        }
+        // Workspaces presized for a larger index still behave identically.
+        let mut big = SearchWorkspace::with_capacity(10_000);
+        assert_eq!(
+            approx.search(1, 3).unwrap(),
+            approx.search_in(&mut big, 1, 3).unwrap()
+        );
     }
 
     #[test]

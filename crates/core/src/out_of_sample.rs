@@ -9,10 +9,57 @@
 //! Algorithm 2 search. Both phases are `O(n)`; Table 2 of the paper breaks
 //! the total time into exactly these two parts.
 
-use crate::mogul::{MogulIndex, SearchMode, SearchStats};
+use crate::mogul::{MogulIndex, SearchMode, SearchStats, SearchWorkspace};
 use crate::ranking::{check_k, TopKResult};
 use crate::{CoreError, Result};
 use std::time::Instant;
+
+/// Reusable scratch for [`OutOfSampleIndex::query_in`].
+///
+/// An out-of-sample query has two phases (Section 4.6.2): the nearest-cluster
+/// / nearest-neighbour scan that builds the weighted query vector, and the
+/// ordinary Algorithm 2 search over it. Both touch `O(n)` scratch; keeping it
+/// in a caller-owned workspace lets a serving loop (see `mogul-serve`) answer
+/// repeated queries with zero heap allocations on the substitution/pruning
+/// path after warm-up. Like [`SearchWorkspace`], the workspace carries no
+/// index state: any workspace works with any index and results are
+/// bit-identical to the allocating [`OutOfSampleIndex::query`].
+#[derive(Debug, Clone, Default)]
+pub struct OosWorkspace {
+    /// Scratch of the Algorithm 2 search phase.
+    search: SearchWorkspace,
+    /// `(cluster, centroid distance²)` pairs, sorted nearest first.
+    cluster_order: Vec<(usize, f64)>,
+    /// Candidate nodes drawn from the probed clusters.
+    candidates: Vec<usize>,
+    /// `(node, euclidean distance)` pairs of the scored candidates.
+    scored: Vec<(usize, f64)>,
+    /// Normalized heat-kernel weighted multi-node query vector.
+    weights: Vec<(usize, f64)>,
+}
+
+impl OosWorkspace {
+    /// An empty workspace; buffers grow to the index size on first use.
+    pub fn new() -> Self {
+        OosWorkspace::default()
+    }
+
+    /// A workspace whose search scratch is pre-sized for an index over `n`
+    /// nodes (the phase-1 buffers grow on first use either way).
+    pub fn with_capacity(n: usize) -> Self {
+        OosWorkspace {
+            search: SearchWorkspace::with_capacity(n),
+            ..OosWorkspace::default()
+        }
+    }
+
+    /// The embedded Algorithm 2 search scratch, for callers that interleave
+    /// in-database and out-of-sample queries over a single workspace (the
+    /// `mogul-serve` workers do exactly that).
+    pub fn search_mut(&mut self) -> &mut SearchWorkspace {
+        &mut self.search
+    }
+}
 
 /// Configuration of the out-of-sample query path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,7 +187,22 @@ impl OutOfSampleIndex {
     }
 
     /// Answer an out-of-sample query given its raw feature vector.
+    ///
+    /// Allocates fresh scratch per call; loops that answer many queries
+    /// should reuse an [`OosWorkspace`] via [`OutOfSampleIndex::query_in`].
     pub fn query(&self, feature: &[f64], k: usize) -> Result<OutOfSampleResult> {
+        self.query_in(&mut OosWorkspace::new(), feature, k)
+    }
+
+    /// [`OutOfSampleIndex::query`] with caller-owned scratch: bit-identical
+    /// results, with the `O(n)` substitution/pruning buffers reused across
+    /// calls instead of reallocated.
+    pub fn query_in(
+        &self,
+        ws: &mut OosWorkspace,
+        feature: &[f64],
+        k: usize,
+    ) -> Result<OutOfSampleResult> {
         check_k(k)?;
         let dim = self.features.first().map_or(0, |f| f.len());
         if feature.len() != dim {
@@ -159,62 +221,66 @@ impl OutOfSampleIndex {
         // Phase 1: nearest cluster(s) by centroid, then nearest neighbours
         // inside them.
         let nn_start = Instant::now();
-        let mut cluster_order: Vec<(usize, f64)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.is_empty())
-            .map(|(idx, c)| {
-                (
-                    idx,
-                    mogul_sparse::vector::squared_euclidean_unchecked(feature, c),
-                )
-            })
-            .collect();
-        cluster_order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        if cluster_order.is_empty() {
+        ws.cluster_order.clear();
+        ws.cluster_order.extend(
+            self.centroids
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.is_empty())
+                .map(|(idx, c)| {
+                    (
+                        idx,
+                        mogul_sparse::vector::squared_euclidean_unchecked(feature, c),
+                    )
+                }),
+        );
+        ws.cluster_order
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        if ws.cluster_order.is_empty() {
             return Err(CoreError::InvalidInput(
                 "the database holds no non-empty clusters".into(),
             ));
         }
-        let probes = self.config.cluster_probes.max(1).min(cluster_order.len());
-        let mut candidates: Vec<usize> = Vec::new();
-        for &(cluster, _) in cluster_order.iter().take(probes) {
-            candidates.extend(self.members[cluster].iter().copied());
+        let probes = self
+            .config
+            .cluster_probes
+            .max(1)
+            .min(ws.cluster_order.len());
+        ws.candidates.clear();
+        for &(cluster, _) in ws.cluster_order.iter().take(probes) {
+            ws.candidates.extend(self.members[cluster].iter().copied());
         }
-        let mut scored: Vec<(usize, f64)> = candidates
-            .into_iter()
-            .map(|node| {
-                (
-                    node,
-                    mogul_sparse::vector::squared_euclidean_unchecked(
-                        feature,
-                        &self.features[node],
-                    )
+        ws.scored.clear();
+        ws.scored.extend(ws.candidates.iter().map(|&node| {
+            (
+                node,
+                mogul_sparse::vector::squared_euclidean_unchecked(feature, &self.features[node])
                     .sqrt(),
-                )
-            })
-            .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(self.config.num_neighbors);
+            )
+        }));
+        ws.scored
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        ws.scored.truncate(self.config.num_neighbors);
         // Heat-kernel weights over the neighbours, normalized to sum 1.
         let sigma = {
             let mean: f64 =
-                scored.iter().map(|&(_, d)| d).sum::<f64>() / scored.len().max(1) as f64;
+                ws.scored.iter().map(|&(_, d)| d).sum::<f64>() / ws.scored.len().max(1) as f64;
             mean.max(1e-12)
         };
-        let mut weights: Vec<(usize, f64)> = scored
-            .iter()
-            .map(|&(node, d)| (node, (-d * d / (2.0 * sigma * sigma)).exp()))
-            .collect();
-        let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+        ws.weights.clear();
+        ws.weights.extend(
+            ws.scored
+                .iter()
+                .map(|&(node, d)| (node, (-d * d / (2.0 * sigma * sigma)).exp())),
+        );
+        let total: f64 = ws.weights.iter().map(|&(_, w)| w).sum();
         if total > 1e-300 {
-            for w in weights.iter_mut() {
+            for w in ws.weights.iter_mut() {
                 w.1 /= total;
             }
         } else {
-            let uniform = 1.0 / weights.len().max(1) as f64;
-            for w in weights.iter_mut() {
+            let uniform = 1.0 / ws.weights.len().max(1) as f64;
+            for w in ws.weights.iter_mut() {
                 w.1 = uniform;
             }
         }
@@ -222,14 +288,17 @@ impl OutOfSampleIndex {
 
         // Phase 2: ordinary Mogul search with the weighted query vector.
         let search_start = Instant::now();
-        let (top_k, stats) = self
-            .index
-            .search_weighted(&weights, k, SearchMode::Pruned)?;
+        let OosWorkspace {
+            search, weights, ..
+        } = ws;
+        let (top_k, stats) =
+            self.index
+                .search_weighted_in(search, weights, k, SearchMode::Pruned)?;
         let top_k_secs = search_start.elapsed().as_secs_f64();
 
         Ok(OutOfSampleResult {
             top_k,
-            neighbors: scored.iter().map(|&(node, _)| node).collect(),
+            neighbors: ws.scored.iter().map(|&(node, _)| node).collect(),
             nearest_neighbor_secs,
             top_k_secs,
             stats,
@@ -288,6 +357,27 @@ mod tests {
             precision > 0.7,
             "out-of-sample retrieval precision too low: {precision}"
         );
+    }
+
+    #[test]
+    fn workspace_reuse_matches_allocating_query() {
+        // One workspace reused across every query must reproduce the
+        // allocating API bit for bit (ranking, neighbours and work counters;
+        // wall-clock timings naturally differ).
+        let (_, queries, oos) = build_index();
+        let mut ws = OosWorkspace::new();
+        for (feature, _) in &queries {
+            let fresh = oos.query(feature, 5).unwrap();
+            let reused = oos.query_in(&mut ws, feature, 5).unwrap();
+            assert_eq!(fresh.top_k, reused.top_k);
+            assert_eq!(fresh.neighbors, reused.neighbors);
+            assert_eq!(fresh.stats, reused.stats);
+        }
+        // A presized workspace behaves identically too.
+        let mut big = OosWorkspace::with_capacity(10_000);
+        let fresh = oos.query(&queries[0].0, 3).unwrap();
+        let reused = oos.query_in(&mut big, &queries[0].0, 3).unwrap();
+        assert_eq!(fresh.top_k, reused.top_k);
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Graph and vector clustering algorithms.
 //!
-//! * [`labels`] — the [`Clustering`](labels::Clustering) assignment type
-//!   shared by every algorithm.
+//! * [`labels`] — the [`Clustering`] assignment type shared by every
+//!   algorithm.
 //! * [`modularity`] — incremental-aggregation modularity clustering
-//!   (Louvain-style). This plays the role of the Shiokawa et al. [17]
+//!   (Louvain-style). This plays the role of the Shiokawa et al. \[17\]
 //!   clustering the paper uses inside Algorithm 1: linear-time, maximizes
 //!   within-cluster edges, and chooses the number of clusters automatically.
-//! * [`kmeans`] — Lloyd's k-means over feature vectors; used for EMR's anchor
-//!   points and by spectral clustering.
+//! * [`mod@kmeans`] — Lloyd's k-means over feature vectors; used for EMR's
+//!   anchor points and by spectral clustering.
 //! * [`spectral`] — normalized spectral clustering; used by the FMR baseline
 //!   to partition the adjacency matrix into blocks.
 

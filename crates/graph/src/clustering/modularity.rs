@@ -1,7 +1,7 @@
 //! Modularity-based graph clustering (incremental aggregation).
 //!
 //! Algorithm 1 of the paper divides the k-NN graph "by the state-of-the-art
-//! clustering approach by Shiokawa et al. [17]", whose defining properties —
+//! clustering approach by Shiokawa et al. \[17\]", whose defining properties —
 //! the only ones the paper relies on — are: (1) it maximizes modularity by
 //! incrementally aggregating nodes, so within-cluster edges dominate, (2) it
 //! runs in time linear in the number of edges, and (3) the number of clusters

@@ -1,6 +1,6 @@
 //! Normalized spectral clustering.
 //!
-//! The FMR baseline (He et al. [8] in the paper) partitions the k-NN graph
+//! The FMR baseline (He et al. \[8\] in the paper) partitions the k-NN graph
 //! with spectral clustering before applying a per-block low-rank
 //! approximation. The classic normalized-cut pipeline is implemented here:
 //! embed the nodes with the leading eigenvectors of the symmetrically

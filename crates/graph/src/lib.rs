@@ -11,12 +11,12 @@
 //!   normalization `C^{-1/2} A C^{-1/2}` and the ranking system matrix
 //!   `W = I − α S` used throughout the paper.
 //! * [`clustering`] — modularity-based clustering (the role played by
-//!   Shiokawa et al. [17] in the paper), k-means, and spectral clustering
+//!   Shiokawa et al. \[17\] in the paper), k-means, and spectral clustering
 //!   (used by the FMR baseline).
 //! * [`ordering`] — Algorithm 1: the node permutation that makes the
 //!   Incomplete Cholesky factor singly bordered block diagonal (Lemma 3).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Index-based loops mirror the adjacency/permutation arithmetic of the paper.
 #![allow(clippy::needless_range_loop)]
 

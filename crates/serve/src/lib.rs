@@ -1,0 +1,49 @@
+//! # mogul-serve
+//!
+//! Concurrent batched query serving on top of the Mogul index.
+//!
+//! The paper's central observation (Section 4 of Fujiwara et al., *Scaling
+//! Manifold Ranking Based Image Retrieval*, PVLDB 2014) is that once the
+//! `L D Lᵀ` factorization is precomputed, answering a query is `O(n)`
+//! substitution plus pruning over **read-only** state. That shape amortizes
+//! perfectly across threads: one immutable index, shared behind an
+//! [`Arc`](std::sync::Arc), can answer many queries at once with no locking
+//! on the hot path.
+//!
+//! This crate provides exactly that serving layer:
+//!
+//! * [`QueryServer`] — wraps an `Arc<OutOfSampleIndex>` (a
+//!   [`MogulIndex`](mogul_core::MogulIndex) plus database features) and
+//!   dispatches single, batched, and mixed in-database / out-of-sample top-k
+//!   requests across a [`std::thread::scope`]-based worker pool.
+//! * [`QueryRequest`] / [`QueryResponse`] — the request/response vocabulary,
+//!   mixing both query kinds freely within one batch.
+//! * [`ServeOptions`] — worker-count configuration.
+//!
+//! Each worker owns a reusable [`OosWorkspace`](mogul_core::OosWorkspace), so
+//! after warm-up the substitution/pruning path performs zero heap
+//! allocations; workspaces are recycled across batches through an internal
+//! checkout/checkin pool. Answers are **bit-identical** to the sequential
+//! [`RetrievalEngine`](mogul_core::RetrievalEngine) — concurrency changes
+//! throughput, never results.
+
+#![deny(missing_docs)]
+
+mod request;
+mod server;
+
+pub use request::{QueryRequest, QueryResponse};
+pub use server::{QueryServer, ServeOptions};
+
+// The serving layer is sound only because every shared piece of query state
+// is immutable and thread-safe; keep that audited at compile time.
+#[allow(dead_code)]
+fn static_assert_shared_state_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<mogul_core::MogulIndex>();
+    check::<mogul_core::OutOfSampleIndex>();
+    check::<mogul_core::RetrievalEngine>();
+    check::<QueryServer>();
+    check::<QueryRequest>();
+    check::<QueryResponse>();
+}

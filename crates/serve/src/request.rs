@@ -1,0 +1,86 @@
+//! Request/response vocabulary of the serving layer.
+//!
+//! A batch submitted to [`QueryServer::serve_batch`](crate::QueryServer::serve_batch)
+//! may mix both request kinds freely; each request carries its own `k`.
+
+use mogul_core::{OutOfSampleResult, TopKResult};
+
+/// One top-k request submitted to a [`QueryServer`](crate::QueryServer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// Query with an item that is already part of the indexed database
+    /// (Algorithm 2; the query item is excluded from the result).
+    InDatabase {
+        /// Original node id of the query item.
+        node: usize,
+        /// Number of results requested.
+        k: usize,
+    },
+    /// Query with an arbitrary feature vector that is *not* in the database
+    /// (Section 4.6.2 of the paper).
+    OutOfSample {
+        /// Raw feature vector of the query.
+        feature: Vec<f64>,
+        /// Number of results requested.
+        k: usize,
+    },
+}
+
+impl QueryRequest {
+    /// Convenience constructor for an in-database request.
+    pub fn in_database(node: usize, k: usize) -> Self {
+        QueryRequest::InDatabase { node, k }
+    }
+
+    /// Convenience constructor for an out-of-sample request.
+    pub fn out_of_sample(feature: impl Into<Vec<f64>>, k: usize) -> Self {
+        QueryRequest::OutOfSample {
+            feature: feature.into(),
+            k,
+        }
+    }
+
+    /// The number of results this request asks for.
+    pub fn k(&self) -> usize {
+        match self {
+            QueryRequest::InDatabase { k, .. } | QueryRequest::OutOfSample { k, .. } => *k,
+        }
+    }
+}
+
+/// Answer to one [`QueryRequest`], mirroring its kind.
+#[derive(Debug, Clone)]
+pub enum QueryResponse {
+    /// Answer to an in-database request.
+    InDatabase(TopKResult),
+    /// Answer to an out-of-sample request, including the Table 2 timing
+    /// breakdown (boxed: the payload is much larger than the other variant).
+    OutOfSample(Box<OutOfSampleResult>),
+}
+
+impl QueryResponse {
+    /// The ranked top-k result, regardless of request kind.
+    pub fn top_k(&self) -> &TopKResult {
+        match self {
+            QueryResponse::InDatabase(top_k) => top_k,
+            QueryResponse::OutOfSample(result) => &result.top_k,
+        }
+    }
+
+    /// Consume the response, yielding the ranked top-k result.
+    pub fn into_top_k(self) -> TopKResult {
+        match self {
+            QueryResponse::InDatabase(top_k) => top_k,
+            QueryResponse::OutOfSample(result) => result.top_k,
+        }
+    }
+
+    /// The full out-of-sample result (neighbours, timing breakdown) when the
+    /// request was [`QueryRequest::OutOfSample`].
+    pub fn out_of_sample(&self) -> Option<&OutOfSampleResult> {
+        match self {
+            QueryResponse::InDatabase(_) => None,
+            QueryResponse::OutOfSample(result) => Some(result),
+        }
+    }
+}

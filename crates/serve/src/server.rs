@@ -1,0 +1,250 @@
+//! The [`QueryServer`]: a worker pool over an `Arc`-shared immutable index.
+//!
+//! Concurrency model: the index is read-only after construction, so workers
+//! share it without any locking. The only mutable state is the per-worker
+//! scratch workspace; those are recycled across batches through a small
+//! checkout/checkin pool guarded by a [`Mutex`] that is touched exactly twice
+//! per worker per batch (never on the per-query hot path). Batch items are
+//! handed out through an atomic cursor, so workers self-balance: a worker
+//! that drew a cheap query immediately picks up the next one.
+
+use crate::request::{QueryRequest, QueryResponse};
+use mogul_core::{OosWorkspace, OutOfSampleIndex, OutOfSampleResult, Result, RetrievalEngine};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+
+/// Configuration of a [`QueryServer`].
+///
+/// The default (`workers: 0`) auto-detects the worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeOptions {
+    /// Number of worker threads used by
+    /// [`QueryServer::serve_batch`]. `0` means "auto": use
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
+}
+
+impl ServeOptions {
+    /// Options with an explicit worker count (`0` = auto-detect).
+    pub fn with_workers(workers: usize) -> Self {
+        ServeOptions { workers }
+    }
+
+    /// The effective worker count after auto-detection.
+    fn resolve(self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    }
+}
+
+/// Recycles per-worker scratch workspaces across batches so the hot
+/// substitution/pruning path allocates nothing after warm-up.
+///
+/// The pool retains at most `cap` workspaces: a transient spike of
+/// concurrent batches checks out extra (freshly allocated) workspaces, but
+/// the surplus is dropped on checkin instead of pinning index-sized buffers
+/// for the server's lifetime.
+#[derive(Debug)]
+struct WorkspacePool {
+    stack: Mutex<Vec<OosWorkspace>>,
+    cap: usize,
+}
+
+impl WorkspacePool {
+    fn with_capacity(cap: usize) -> Self {
+        WorkspacePool {
+            stack: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    fn checkout(&self) -> OosWorkspace {
+        self.stack
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn checkin(&self, ws: OosWorkspace) {
+        let mut stack = self.stack.lock().unwrap_or_else(PoisonError::into_inner);
+        if stack.len() < self.cap {
+            stack.push(ws);
+        }
+    }
+}
+
+/// A thread-safe query server over an immutable, `Arc`-shared
+/// [`OutOfSampleIndex`].
+///
+/// The server answers three request shapes — single queries
+/// ([`QueryServer::query`] and the `query_by_*` conveniences), homogeneous
+/// batches, and mixed in-database / out-of-sample batches
+/// ([`QueryServer::serve_batch`]) — and is itself `Send + Sync`: any number
+/// of threads may submit batches concurrently, each dispatch spawning scoped
+/// workers that die with the call (no background threads, no channels, no
+/// extra dependencies). Answers are bit-identical to the sequential
+/// [`RetrievalEngine`] paths.
+///
+/// ```
+/// use mogul_core::RetrievalEngine;
+/// use mogul_serve::{QueryRequest, QueryServer, ServeOptions};
+///
+/// // Twelve items along a line, then a server with two workers.
+/// let features: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 0.0]).collect();
+/// let engine = RetrievalEngine::builder().knn_k(3).build(features)?;
+/// let server = QueryServer::from_engine(engine, ServeOptions::with_workers(2));
+///
+/// // One batch may mix in-database and out-of-sample requests.
+/// let answers = server.serve_batch(&[
+///     QueryRequest::in_database(0, 3),
+///     QueryRequest::out_of_sample(vec![2.5, 0.0], 3),
+/// ]);
+/// for answer in &answers {
+///     assert_eq!(answer.as_ref().unwrap().top_k().len(), 3);
+/// }
+/// # Ok::<(), mogul_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct QueryServer {
+    index: Arc<OutOfSampleIndex>,
+    workers: usize,
+    pool: WorkspacePool,
+}
+
+impl QueryServer {
+    /// Build a server over an already-shared index (the `Arc` may also be
+    /// held by other servers or by non-serving code).
+    pub fn new(index: Arc<OutOfSampleIndex>, options: ServeOptions) -> Self {
+        let workers = options.resolve();
+        QueryServer {
+            index,
+            workers,
+            // One retained workspace per worker covers the steady state; a
+            // spike of concurrent batches allocates extras and drops them.
+            pool: WorkspacePool::with_capacity(workers),
+        }
+    }
+
+    /// Build a server by taking over a [`RetrievalEngine`]'s index.
+    pub fn from_engine(engine: RetrievalEngine, options: ServeOptions) -> Self {
+        QueryServer::new(Arc::new(engine.into_out_of_sample()), options)
+    }
+
+    /// The shared index the server answers from.
+    pub fn index(&self) -> &OutOfSampleIndex {
+        &self.index
+    }
+
+    /// Number of worker threads a batch dispatch may use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.index.index().num_nodes()
+    }
+
+    /// `true` when the server indexes zero items (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Answer one request of either kind on the calling thread.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        let mut ws = self.pool.checkout();
+        let result = self.answer(&mut ws, request);
+        self.pool.checkin(ws);
+        result
+    }
+
+    /// Top-k for an item already in the database (the item itself is
+    /// excluded from the result).
+    pub fn query_by_id(&self, node: usize, k: usize) -> Result<mogul_core::TopKResult> {
+        let mut ws = self.pool.checkout();
+        let result = self.index.index().search_in(ws.search_mut(), node, k);
+        self.pool.checkin(ws);
+        result
+    }
+
+    /// Top-k for an arbitrary feature vector (out-of-sample query).
+    pub fn query_by_feature(&self, feature: &[f64], k: usize) -> Result<OutOfSampleResult> {
+        let mut ws = self.pool.checkout();
+        let result = self.index.query_in(&mut ws, feature, k);
+        self.pool.checkin(ws);
+        result
+    }
+
+    /// Answer a batch of (possibly mixed) requests, preserving order:
+    /// `answers[i]` belongs to `requests[i]`. Failures are per-request — one
+    /// invalid request never poisons the rest of the batch.
+    ///
+    /// The batch is spread over `min(workers, requests.len())` scoped worker
+    /// threads; a single-worker server (or a one-element batch) runs inline
+    /// with no thread spawned at all. `serve_batch` takes `&self`, so any
+    /// number of batches may be in flight concurrently on one server.
+    pub fn serve_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        let workers = self.workers.min(requests.len()).max(1);
+        if workers == 1 {
+            let mut ws = self.pool.checkout();
+            let answers = requests.iter().map(|r| self.answer(&mut ws, r)).collect();
+            self.pool.checkin(ws);
+            return answers;
+        }
+
+        // Atomic cursor hands requests to whichever worker is free next;
+        // workers buffer `(index, answer)` pairs locally and the results are
+        // stitched back into request order afterwards.
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, Result<QueryResponse>)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut ws = self.pool.checkout();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests.len() {
+                                break;
+                            }
+                            local.push((i, self.answer(&mut ws, &requests[i])));
+                        }
+                        self.pool.checkin(ws);
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        });
+
+        let mut answers: Vec<Option<Result<QueryResponse>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (i, answer) in per_worker.into_iter().flatten() {
+            answers[i] = Some(answer);
+        }
+        answers
+            .into_iter()
+            .map(|a| a.expect("every request is answered exactly once"))
+            .collect()
+    }
+
+    /// Dispatch one request onto the right index entry point.
+    fn answer(&self, ws: &mut OosWorkspace, request: &QueryRequest) -> Result<QueryResponse> {
+        match request {
+            QueryRequest::InDatabase { node, k } => Ok(QueryResponse::InDatabase(
+                self.index.index().search_in(ws.search_mut(), *node, *k)?,
+            )),
+            QueryRequest::OutOfSample { feature, k } => Ok(QueryResponse::OutOfSample(Box::new(
+                self.index.query_in(ws, feature, *k)?,
+            ))),
+        }
+    }
+}

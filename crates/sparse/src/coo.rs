@@ -2,7 +2,7 @@
 //!
 //! `CooMatrix` is the write-optimized staging structure: graph-construction
 //! code pushes `(row, col, value)` triplets in arbitrary order and converts to
-//! [`CsrMatrix`](crate::CsrMatrix) once, deduplicating by summation.
+//! [`CsrMatrix`] once, deduplicating by summation.
 
 use crate::csr::CsrMatrix;
 use crate::error::{Result, SparseError};

@@ -11,7 +11,9 @@
 //!   k-NN adjacency matrix and everything derived from it.
 //! * [`Permutation`] — the node permutation matrix `P` of Section 4.2.2
 //!   (`A' = P A Pᵀ`).
-//! * [`triangular`] — forward/back substitution (Equations (4) and (5)).
+//! * [`triangular`] — forward/back substitution (Equations (4) and (5)),
+//!   each solve also available as a `*_into` variant writing into
+//!   caller-owned buffers (see [`SolveWorkspace`]) for allocation-free loops.
 //! * [`ichol`] — Incomplete Cholesky `L D Lᵀ` factorization restricted to the
 //!   sparsity pattern of `W` (Equations (6) and (7)).
 //! * [`ldl`] — complete ("Modified Cholesky" in the paper's terminology)
@@ -24,7 +26,7 @@
 //!
 //! All numerics use `f64`. The crate has no third-party dependencies.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Index-based loops are used deliberately throughout the numerical kernels:
 // they mirror the paper's equations and index several arrays in lockstep.
 #![allow(clippy::needless_range_loop)]
@@ -50,3 +52,4 @@ pub use error::{Result, SparseError};
 pub use ichol::{incomplete_ldl, LdlFactors};
 pub use ldl::{complete_ldl, CompleteLdl};
 pub use permutation::Permutation;
+pub use triangular::SolveWorkspace;

@@ -1,6 +1,6 @@
 //! Truncated low-rank approximation of symmetric matrices.
 //!
-//! Used by the **FMR** baseline (He et al. [8] in the paper): after spectral
+//! Used by the **FMR** baseline (He et al. \[8\] in the paper): after spectral
 //! partitioning, each (block of the) adjacency matrix is replaced by a
 //! low-rank approximation so the ranking scores can be computed in the
 //! reduced space. For a symmetric matrix the truncated SVD used in the paper

@@ -12,6 +12,38 @@ use crate::error::{Result, SparseError};
 /// Smallest pivot magnitude accepted before a solve is declared singular.
 const PIVOT_TOL: f64 = 1e-300;
 
+/// Reusable scratch for the composite [`ldl_solve_into`] operation.
+///
+/// Holding the intermediate vector of the two-phase solve in a caller-owned
+/// workspace lets hot query loops (for example the concurrent serving layer
+/// in `mogul-serve`) run the substitution path with zero heap allocations
+/// after the first call: the buffer is resized once and then reused.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    /// Intermediate `y` of `L y = b` before the diagonal scaling.
+    intermediate: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// A workspace pre-sized for systems of dimension `n`.
+    pub fn with_capacity(n: usize) -> Self {
+        SolveWorkspace {
+            intermediate: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Reset `out` to `n` zeros, reusing its existing capacity.
+fn reset(out: &mut Vec<f64>, n: usize) {
+    out.clear();
+    out.resize(n, 0.0);
+}
+
 fn check_square_and_rhs(m: &CsrMatrix, b: &[f64], op: &'static str) -> Result<()> {
     if m.nrows() != m.ncols() {
         return Err(SparseError::NotSquare {
@@ -32,9 +64,17 @@ fn check_square_and_rhs(m: &CsrMatrix, b: &[f64], op: &'static str) -> Result<()
 /// Solve `L x = b` where `L` is lower triangular with a non-zero stored
 /// diagonal. Entries above the diagonal are ignored.
 pub fn solve_lower_triangular(l: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    let mut x = Vec::new();
+    solve_lower_triangular_into(l, b, &mut x)?;
+    Ok(x)
+}
+
+/// [`solve_lower_triangular`] writing into a caller-owned buffer (resized and
+/// zeroed in place, so repeated solves never reallocate).
+pub fn solve_lower_triangular_into(l: &CsrMatrix, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
     check_square_and_rhs(l, b, "solve_lower_triangular")?;
     let n = l.nrows();
-    let mut x = vec![0.0; n];
+    reset(x, n);
     for i in 0..n {
         let (cols, vals) = l.row(i);
         let mut sum = b[i];
@@ -51,15 +91,23 @@ pub fn solve_lower_triangular(l: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
         }
         x[i] = sum / diag;
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solve `L x = b` where `L` is *unit* lower triangular (implicit or explicit
 /// diagonal of ones). Entries above the diagonal are ignored.
 pub fn solve_unit_lower(l: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    let mut x = Vec::new();
+    solve_unit_lower_into(l, b, &mut x)?;
+    Ok(x)
+}
+
+/// [`solve_unit_lower`] writing into a caller-owned buffer (resized and
+/// zeroed in place, so repeated solves never reallocate).
+pub fn solve_unit_lower_into(l: &CsrMatrix, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
     check_square_and_rhs(l, b, "solve_unit_lower")?;
     let n = l.nrows();
-    let mut x = vec![0.0; n];
+    reset(x, n);
     for i in 0..n {
         let (cols, vals) = l.row(i);
         let mut sum = b[i];
@@ -70,15 +118,23 @@ pub fn solve_unit_lower(l: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
         }
         x[i] = sum;
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solve `U x = b` where `U` is upper triangular with a non-zero stored
 /// diagonal. Entries below the diagonal are ignored.
 pub fn solve_upper_triangular(u: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    let mut x = Vec::new();
+    solve_upper_triangular_into(u, b, &mut x)?;
+    Ok(x)
+}
+
+/// [`solve_upper_triangular`] writing into a caller-owned buffer (resized and
+/// zeroed in place, so repeated solves never reallocate).
+pub fn solve_upper_triangular_into(u: &CsrMatrix, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
     check_square_and_rhs(u, b, "solve_upper_triangular")?;
     let n = u.nrows();
-    let mut x = vec![0.0; n];
+    reset(x, n);
     for i in (0..n).rev() {
         let (cols, vals) = u.row(i);
         let mut sum = b[i];
@@ -95,15 +151,23 @@ pub fn solve_upper_triangular(u: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
         }
         x[i] = sum / diag;
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solve `U x = b` where `U` is *unit* upper triangular (implicit or explicit
 /// diagonal of ones). Entries below the diagonal are ignored.
 pub fn solve_unit_upper(u: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    let mut x = Vec::new();
+    solve_unit_upper_into(u, b, &mut x)?;
+    Ok(x)
+}
+
+/// [`solve_unit_upper`] writing into a caller-owned buffer (resized and
+/// zeroed in place, so repeated solves never reallocate).
+pub fn solve_unit_upper_into(u: &CsrMatrix, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
     check_square_and_rhs(u, b, "solve_unit_upper")?;
     let n = u.nrows();
-    let mut x = vec![0.0; n];
+    reset(x, n);
     for i in (0..n).rev() {
         let (cols, vals) = u.row(i);
         let mut sum = b[i];
@@ -114,7 +178,7 @@ pub fn solve_unit_upper(u: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
         }
         x[i] = sum;
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solve `L D Lᵀ x = b` given the unit-lower factor `L` (rows, CSR), its
@@ -124,6 +188,23 @@ pub fn solve_unit_upper(u: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
 /// approximate scores of *all* nodes (the "Incomplete Cholesky" baseline of
 /// Figure 5); the selective per-cluster variant lives in `mogul-core`.
 pub fn ldl_solve(l: &CsrMatrix, u: &CsrMatrix, d: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    let mut ws = SolveWorkspace::new();
+    let mut x = Vec::new();
+    ldl_solve_into(l, u, d, b, &mut ws, &mut x)?;
+    Ok(x)
+}
+
+/// [`ldl_solve`] with caller-owned scratch and output buffers: the
+/// intermediate of the forward phase lives in `ws` and the solution is
+/// written to `x`, so a warm loop of solves performs no heap allocation.
+pub fn ldl_solve_into(
+    l: &CsrMatrix,
+    u: &CsrMatrix,
+    d: &[f64],
+    b: &[f64],
+    ws: &mut SolveWorkspace,
+    x: &mut Vec<f64>,
+) -> Result<()> {
     if d.len() != l.nrows() {
         return Err(SparseError::DimensionMismatch {
             op: "ldl_solve diagonal",
@@ -131,15 +212,15 @@ pub fn ldl_solve(l: &CsrMatrix, u: &CsrMatrix, d: &[f64], b: &[f64]) -> Result<V
             right: (d.len(), 1),
         });
     }
-    let mut y = solve_unit_lower(l, b)?;
-    for (i, yi) in y.iter_mut().enumerate() {
+    solve_unit_lower_into(l, b, &mut ws.intermediate)?;
+    for (i, yi) in ws.intermediate.iter_mut().enumerate() {
         let di = d[i];
         if di.abs() < PIVOT_TOL {
             return Err(SparseError::SingularMatrix { pivot: i });
         }
         *yi /= di;
     }
-    solve_unit_upper(u, &y)
+    solve_unit_upper_into(u, &ws.intermediate, x)
 }
 
 #[cfg(test)]
@@ -219,6 +300,36 @@ mod tests {
         assert!(solve_unit_lower(&rect, &[1.0, 1.0]).is_err());
         assert!(solve_unit_upper(&rect, &[1.0, 1.0]).is_err());
         assert!(solve_upper_triangular(&rect, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_and_reusable() {
+        let l = lower_example();
+        let u = l.transpose();
+        let unit_l = CsrMatrix::from_triplets(3, 3, &[(1, 0, 0.5), (2, 1, 0.25)]).unwrap();
+        let unit_u = unit_l.transpose();
+        let d = vec![2.0, 3.0, 4.0];
+
+        // One shared output buffer reused across every solve kind and several
+        // right-hand sides: results must equal the allocating API bit for bit.
+        let mut out = Vec::new();
+        let mut ws = SolveWorkspace::with_capacity(3);
+        for b in [vec![2.0, 7.0, 14.0], vec![-1.0, 0.5, 3.25], vec![0.0; 3]] {
+            solve_lower_triangular_into(&l, &b, &mut out).unwrap();
+            assert_eq!(out, solve_lower_triangular(&l, &b).unwrap());
+            solve_upper_triangular_into(&u, &b, &mut out).unwrap();
+            assert_eq!(out, solve_upper_triangular(&u, &b).unwrap());
+            solve_unit_lower_into(&unit_l, &b, &mut out).unwrap();
+            assert_eq!(out, solve_unit_lower(&unit_l, &b).unwrap());
+            solve_unit_upper_into(&unit_u, &b, &mut out).unwrap();
+            assert_eq!(out, solve_unit_upper(&unit_u, &b).unwrap());
+            ldl_solve_into(&unit_l, &unit_u, &d, &b, &mut ws, &mut out).unwrap();
+            assert_eq!(out, ldl_solve(&unit_l, &unit_u, &d, &b).unwrap());
+        }
+
+        // Shape errors are reported through the `_into` path as well.
+        assert!(solve_lower_triangular_into(&l, &[1.0], &mut out).is_err());
+        assert!(ldl_solve_into(&unit_l, &unit_u, &[1.0], &[1.0; 3], &mut ws, &mut out).is_err());
     }
 
     #[test]

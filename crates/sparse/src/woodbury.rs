@@ -1,6 +1,6 @@
 //! Woodbury-identity solves for low-rank-plus-identity systems.
 //!
-//! The **EMR** baseline (Xu et al. [21] in the paper) approximates the
+//! The **EMR** baseline (Xu et al. \[21\] in the paper) approximates the
 //! normalized adjacency with an anchor-graph factorization `S ≈ H Hᵀ` where
 //! `H` is `n × d` and `d ≪ n`. Ranking scores are then obtained from
 //!

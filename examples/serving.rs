@@ -1,0 +1,69 @@
+//! Concurrent batched serving: one shared, immutable Mogul index answering a
+//! mixed in-database / out-of-sample workload across a worker pool, with
+//! measured queries/sec as the worker count grows.
+//!
+//! ```text
+//! cargo run --example serving --release
+//! ```
+
+use mogul_suite::core::RetrievalEngine;
+use mogul_suite::data::sift::{sift_like, SiftLikeConfig};
+use mogul_suite::serve::{QueryRequest, QueryServer, ServeOptions};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // A SIFT-like descriptor collection, split into a database and a set of
+    // held-out query vectors.
+    let dataset = sift_like(&SiftLikeConfig {
+        num_points: 6_000,
+        num_words: 60,
+        dim: 32,
+        ..Default::default()
+    })
+    .expect("generate descriptors");
+    let (db, held_out) = dataset.split_out_queries(60, 11).expect("split queries");
+    println!(
+        "database: {} descriptors ({} held out as out-of-sample queries)",
+        db.len(),
+        held_out.len()
+    );
+
+    let build_start = Instant::now();
+    let engine = RetrievalEngine::builder()
+        .knn_k(5)
+        .build(db.features().to_vec())
+        .expect("build retrieval engine");
+    println!("indexed in {:.2} s", build_start.elapsed().as_secs_f64());
+
+    // A mixed batch: every held-out vector as an out-of-sample request,
+    // interleaved with in-database requests.
+    let mut batch = Vec::new();
+    for (i, (feature, _)) in held_out.iter().enumerate() {
+        batch.push(QueryRequest::in_database(i * 31 % db.len(), 10));
+        batch.push(QueryRequest::out_of_sample(feature.clone(), 10));
+    }
+
+    // One immutable index shared by every server configuration.
+    let index = Arc::new(engine.into_out_of_sample());
+    let rounds = 5usize;
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        let server = QueryServer::new(Arc::clone(&index), ServeOptions::with_workers(workers));
+        server.serve_batch(&batch); // warm the workspace pool
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for answer in server.serve_batch(&batch) {
+                answer.expect("query failed");
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let qps = (rounds * batch.len()) as f64 / secs;
+        let speedup = qps / *baseline.get_or_insert(qps);
+        println!(
+            "{workers} worker(s): {:>8.0} queries/sec  ({speedup:.2}x vs 1 worker)",
+            qps
+        );
+    }
+    println!("answers are bit-identical at every worker count (see crates/serve tests)");
+}

@@ -5,11 +5,12 @@
 //! tests under `tests/` have a single, convenient entry point.
 //!
 //! Library users should normally depend on the individual crates
-//! (`mogul-core`, `mogul-graph`, `mogul-data`, `mogul-eval`, `mogul-sparse`)
-//! directly.
+//! (`mogul-core`, `mogul-graph`, `mogul-data`, `mogul-eval`, `mogul-serve`,
+//! `mogul-sparse`) directly.
 
 pub use mogul_core as core;
 pub use mogul_data as data;
 pub use mogul_eval as eval;
 pub use mogul_graph as graph;
+pub use mogul_serve as serve;
 pub use mogul_sparse as sparse;
