@@ -19,6 +19,12 @@
 //! | [`mogul::MogulIndex`] (exact mode) | §4.6.1 | `O(m)` | complete `LDLᵀ` (MogulE) |
 //! | [`out_of_sample::OutOfSampleIndex`] | §4.6.2 | `O(n)` | queries outside the database |
 //!
+//! Beyond the paper, [`update`] makes the index **mutable after precompute**:
+//! inserts and removals are applied as Woodbury low-rank corrections against
+//! the existing factorization and published as immutable, epoch-versioned
+//! [`update::IndexSnapshot`]s (the unit the `mogul-serve` crate swaps
+//! atomically for zero-downtime updates).
+//!
 //! All solvers implement the [`Ranker`] trait so the evaluation harness can
 //! treat them uniformly.
 
@@ -35,6 +41,7 @@ pub mod mogul;
 pub mod out_of_sample;
 pub mod params;
 pub mod ranking;
+pub mod update;
 
 pub use emr::{EmrConfig, EmrSolver};
 pub use engine::{RetrievalEngine, RetrievalEngineBuilder};
@@ -48,6 +55,10 @@ pub use mogul::{
 pub use out_of_sample::{OosWorkspace, OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
 pub use params::MrParams;
 pub use ranking::{RankedNode, Ranker, TopKResult};
+pub use update::{
+    IndexBuilder, IndexDelta, IndexSnapshot, RebuildDebt, RebuildPolicy, SnapshotWorkspace,
+    UpdatableIndex, UpdateOp, UpdateReport,
+};
 
 /// Errors produced by this crate (shared with the substrates).
 pub use mogul_sparse::error::{Result, SparseError as CoreError};

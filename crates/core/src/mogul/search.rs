@@ -86,6 +86,9 @@ pub struct SearchWorkspace {
     query_clusters: Vec<usize>,
     /// Backing storage of the top-k heap, recycled between queries.
     heap_buf: Vec<HeapEntry>,
+    /// Scratch of the unrestricted [`MogulIndex::solve_ranking_system_in`]
+    /// path (the `mogul_sparse::triangular::ldl_solve_into` intermediate).
+    solve: mogul_sparse::SolveWorkspace,
 }
 
 impl SearchWorkspace {
@@ -285,6 +288,66 @@ impl MogulIndex {
         ws.permuted.push((permuted_query, 1.0));
         self.scores_permuted(ws)?;
         self.ordering.permutation.unpermute_vec(&ws.x)
+    }
+
+    /// Solve the factorized ranking system `W x = rhs` for an arbitrary dense
+    /// right-hand side in **original** node order.
+    ///
+    /// The solve runs in permuted space (`L D Lᵀ x' = P rhs`, full forward
+    /// and back substitution — no restriction, no pruning) and unpermutes the
+    /// result. With the complete (MogulE) factorization this is the exact
+    /// `W⁻¹ rhs`; with the incomplete factorization it is the same
+    /// approximation every search in this index is built on.
+    ///
+    /// This is the base-solver entry point of the incremental-update module
+    /// ([`crate::update`]): inserts and removals are applied as Woodbury
+    /// corrections *around* this solve, and note that no `(1 − α)` query
+    /// scaling is applied here — callers scale the right-hand side.
+    pub fn solve_ranking_system(&self, rhs: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.solve_ranking_system_in(&mut SearchWorkspace::new(), rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MogulIndex::solve_ranking_system`] with caller-owned scratch and
+    /// output buffer: bit-identical results, zero allocation once warm.
+    pub fn solve_ranking_system_in(
+        &self,
+        ws: &mut SearchWorkspace,
+        rhs: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let n = self.num_nodes();
+        if rhs.len() != n {
+            return Err(crate::CoreError::DimensionMismatch {
+                op: "ranking system solve",
+                left: (n, 1),
+                right: (rhs.len(), 1),
+            });
+        }
+        // Permute the right-hand side: q'[P(i)] = rhs[i].
+        ws.q_vec.clear();
+        ws.q_vec.resize(n, 0.0);
+        for (old, &value) in rhs.iter().enumerate() {
+            ws.q_vec[self.ordering.permutation.new_index(old)] = value;
+        }
+        // Full two-phase substitution `L D Lᵀ x' = q'` — the shared sparse
+        // kernel, not a local re-implementation.
+        mogul_sparse::triangular::ldl_solve_into(
+            &self.factors.l,
+            &self.factors.u,
+            &self.factors.d,
+            &ws.q_vec,
+            &mut ws.solve,
+            &mut ws.x,
+        )?;
+        // Unpermute: out[i] = x'[P(i)].
+        out.clear();
+        out.resize(n, 0.0);
+        for (new, &value) in ws.x.iter().enumerate() {
+            out[self.ordering.permutation.old_index(new)] = value;
+        }
+        Ok(())
     }
 
     // ----------------------------------------------------------------------
@@ -704,6 +767,48 @@ mod tests {
             approx.search(1, 3).unwrap(),
             approx.search_in(&mut big, 1, 3).unwrap()
         );
+    }
+
+    #[test]
+    fn solve_ranking_system_matches_direct_solve() {
+        let g = clique_chain();
+        let params = MrParams::default();
+        let adjacency = g.adjacency_matrix();
+        let w = mogul_graph::adjacency::ranking_system_matrix(&adjacency, params.alpha).unwrap();
+        let exact = MogulIndex::build(
+            &g,
+            MogulConfig {
+                params,
+                ..MogulConfig::exact()
+            },
+        )
+        .unwrap();
+        let approx = MogulIndex::build(
+            &g,
+            MogulConfig {
+                params,
+                ..MogulConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rhs = vec![0.0; g.num_nodes()];
+        rhs[3] = 1.0;
+        rhs[11] = -0.5;
+        // Complete factorization: exact inverse application.
+        let x = exact.solve_ranking_system(&rhs).unwrap();
+        let x_ref = w.to_dense().solve(&rhs).unwrap();
+        assert!(mogul_sparse::vector::max_abs_diff(&x, &x_ref).unwrap() < 1e-9);
+        // Incomplete factorization: the usual approximation quality.
+        let x_approx = approx.solve_ranking_system(&rhs).unwrap();
+        assert!(mogul_sparse::vector::max_abs_diff(&x_approx, &x_ref).unwrap() < 0.05);
+        // Workspace variant is bit-identical and validation rejects bad rhs.
+        let mut ws = SearchWorkspace::new();
+        let mut out = Vec::new();
+        exact
+            .solve_ranking_system_in(&mut ws, &rhs, &mut out)
+            .unwrap();
+        assert_eq!(x, out);
+        assert!(exact.solve_ranking_system(&[1.0]).is_err());
     }
 
     #[test]

@@ -186,6 +186,21 @@ impl OutOfSampleIndex {
         &self.index
     }
 
+    /// The database feature vectors, indexed by original node id.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Dimensionality of the database feature vectors.
+    pub fn feature_dim(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// The out-of-sample query configuration.
+    pub fn config(&self) -> OutOfSampleConfig {
+        self.config
+    }
+
     /// Answer an out-of-sample query given its raw feature vector.
     ///
     /// Allocates fresh scratch per call; loops that answer many queries

@@ -1,0 +1,1517 @@
+//! Incremental index updates with epoch-versioned snapshots.
+//!
+//! The paper factorizes the ranking system matrix `W = I − α C^{-1/2} A
+//! C^{-1/2}` **once per database** — every query afterwards is substitution
+//! over immutable factors. That design leaves no room for a corpus that
+//! changes: one inserted image would invalidate `A`, `C` and the `L D Lᵀ`
+//! factors and force a full precomputation.
+//!
+//! This module closes that gap without abandoning the factorization.  The
+//! observation is that an insert or removal perturbs only a handful of rows
+//! of `W` (the touched item and its graph neighbours, whose degrees change),
+//! so the *current* system matrix is always
+//!
+//! ```text
+//! W  =  W₀ + Δ,        Δ = E_R A_R + B E_Rᵀ   (symmetric, support rows R)
+//! ```
+//!
+//! where `W₀` is the matrix factorized at the last **rebuild** (inserted
+//! items appended as implicit identity rows) and `R` is the set of rows
+//! touched since then. `Δ` has rank at most `2|R|`, so queries are answered
+//! through the Woodbury identity against the *existing* factors
+//! ([`mogul_sparse::WoodburyCorrection`], the same identity the EMR baseline
+//! uses for its anchor factorization):
+//!
+//! ```text
+//! W⁻¹ b = x₀ − Z (I + Vᵀ Z)⁻¹ Vᵀ x₀,   x₀ = W₀⁻¹ b,  Z = W₀⁻¹ U,
+//! U = [E_R | B],  V = [A_Rᵀ | E_R].
+//! ```
+//!
+//! Each applied [`IndexDelta`] therefore costs `2|R|` substitutions against
+//! the old factors instead of a clustering + ordering + factorization pass,
+//! and each query pays `O(n · 2|R|)` extra — the **rebuild debt**. A
+//! configurable [`RebuildPolicy`] bounds that debt: when the support `|R|`
+//! grows past the threshold, [`UpdatableIndex::apply`] performs a full
+//! refactorization of the current graph (off the query path — readers keep
+//! using the previous snapshot until the new one is published).
+//!
+//! Every apply publishes an immutable, epoch-stamped [`IndexSnapshot`]
+//! behind an [`Arc`]: queries run against a snapshot, writers never mutate
+//! one. The `mogul-serve` crate swaps these snapshots atomically under its
+//! `QueryServer`, which is what makes updates zero-downtime: in-flight
+//! queries finish on the epoch they started with.
+//!
+//! Items are addressed by **stable ids** (`usize`, assigned at insert,
+//! never reused); dense node indices are an internal detail that changes at
+//! every rebuild.
+
+use crate::engine::RetrievalEngineBuilder;
+use crate::mogul::{MogulConfig, MogulIndex, SearchStats, SearchWorkspace};
+use crate::out_of_sample::{OosWorkspace, OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
+use crate::ranking::{check_k, RankedNode, TopKResult};
+use crate::{CoreError, Result};
+use mogul_graph::knn::{
+    estimate_sigma, exact_knn_indices, graph_from_neighbor_lists, EdgeWeighting,
+};
+use mogul_graph::Graph;
+use mogul_sparse::{CorrectionWorkspace, WoodburyCorrection};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Deltas and policy
+// ---------------------------------------------------------------------------
+
+/// One staged mutation of the indexed collection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Insert a new item with the given feature vector.
+    Insert {
+        /// Feature vector of the new item (must match the index dimension).
+        feature: Vec<f64>,
+    },
+    /// Remove the item with the given stable id.
+    Remove {
+        /// Stable id returned when the item was inserted (initial items get
+        /// ids `0..n` in input order).
+        id: usize,
+    },
+}
+
+/// An ordered batch of inserts and removals, applied atomically by
+/// [`UpdatableIndex::apply`]: either every operation takes effect in one new
+/// snapshot epoch, or (on validation failure) none does.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexDelta {
+    ops: Vec<UpdateOp>,
+}
+
+impl IndexDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        IndexDelta::default()
+    }
+
+    /// Stage an insert; the new item's stable id is reported by
+    /// [`UpdateReport::inserted`] once the delta is applied.
+    pub fn insert(&mut self, feature: Vec<f64>) -> &mut Self {
+        self.ops.push(UpdateOp::Insert { feature });
+        self
+    }
+
+    /// Stage a removal by stable id. Within one delta, operations apply in
+    /// order, so a removal may reference an id inserted earlier in the same
+    /// delta.
+    pub fn remove(&mut self, id: usize) -> &mut Self {
+        self.ops.push(UpdateOp::Remove { id });
+        self
+    }
+
+    /// The staged operations in application order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// When accumulated corrections trigger a full refactorization.
+///
+/// The correction support `|R|` (rows of `W` that differ from the factorized
+/// base) is the debt currency: query overhead grows as `O(n · 2|R|)` and the
+/// correction stores a dense `n × 2|R|` block, so both thresholds bound
+/// query latency *and* memory. A rebuild resets the support to zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildPolicy {
+    /// Absolute ceiling on the support `|R|`.
+    pub max_support: usize,
+    /// Relative ceiling: rebuild when `|R| > fraction · live items`.
+    pub max_support_fraction: f64,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        RebuildPolicy {
+            max_support: 1024,
+            max_support_fraction: 0.10,
+        }
+    }
+}
+
+impl RebuildPolicy {
+    /// A policy that never triggers an automatic rebuild (callers refactorize
+    /// explicitly through [`UpdatableIndex::rebuild`]). Used by the
+    /// equivalence tests to keep corrections accumulating.
+    pub fn never() -> Self {
+        RebuildPolicy {
+            max_support: usize::MAX,
+            max_support_fraction: f64::INFINITY,
+        }
+    }
+
+    /// `true` when the given debt exceeds either threshold.
+    pub fn should_rebuild(&self, debt: RebuildDebt) -> bool {
+        debt.support > self.max_support
+            || (debt.support as f64) > self.max_support_fraction * debt.live_items as f64
+    }
+}
+
+/// Snapshot of the accumulated rebuild debt (see [`RebuildPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildDebt {
+    /// Rows of `W` that differ from the factorized base (`|R|`).
+    pub support: usize,
+    /// Rank of the active Woodbury correction (`≤ 2 · support`).
+    pub correction_rank: usize,
+    /// Live (queryable) items.
+    pub live_items: usize,
+}
+
+impl RebuildDebt {
+    /// Support as a fraction of the live collection.
+    pub fn support_fraction(&self) -> f64 {
+        if self.live_items == 0 {
+            0.0
+        } else {
+            self.support as f64 / self.live_items as f64
+        }
+    }
+}
+
+/// What one [`UpdatableIndex::apply`] (or [`UpdatableIndex::rebuild`]) did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Epoch of the snapshot published by this application.
+    pub epoch: u64,
+    /// Stable ids assigned to the delta's inserts, in staging order.
+    pub inserted: Vec<usize>,
+    /// Number of items removed by the delta.
+    pub removed: usize,
+    /// `true` when the rebuild-debt policy (or an explicit
+    /// [`UpdatableIndex::rebuild`]) triggered a full refactorization.
+    pub rebuilt: bool,
+    /// Rebuild debt after this application (zero after a rebuild).
+    pub debt: RebuildDebt,
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Builder for [`UpdatableIndex`] — the updatable counterpart of
+/// [`RetrievalEngineBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IndexBuilder {
+    engine: RetrievalEngineBuilder,
+    policy: RebuildPolicy,
+}
+
+impl IndexBuilder {
+    /// Start from the paper's default parameters.
+    pub fn new() -> Self {
+        IndexBuilder::default()
+    }
+
+    /// Override the Manifold Ranking `α`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.engine.alpha = alpha;
+        self
+    }
+
+    /// Override the k-NN degree used both for the initial graph and for
+    /// connecting inserted items.
+    pub fn knn_k(mut self, k: usize) -> Self {
+        self.engine.knn_k = k;
+        self
+    }
+
+    /// Use the exact (MogulE, complete factorization) configuration; with it
+    /// incremental answers match a from-scratch refactorization exactly.
+    pub fn exact_ranking(mut self) -> Self {
+        self.engine = self.engine.exact_ranking();
+        self
+    }
+
+    /// Override the number of database neighbours used by out-of-sample
+    /// queries.
+    pub fn out_of_sample_neighbors(mut self, neighbors: usize) -> Self {
+        self.engine.out_of_sample_neighbors = neighbors;
+        self
+    }
+
+    /// Override the rebuild-debt policy.
+    pub fn rebuild_policy(mut self, policy: RebuildPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Build the updatable index over the initial collection. Initial items
+    /// receive stable ids `0..features.len()` in input order.
+    pub fn build(self, features: Vec<Vec<f64>>) -> Result<UpdatableIndex> {
+        if features.is_empty() {
+            return Err(CoreError::InvalidInput(
+                "cannot build an updatable index over zero items".into(),
+            ));
+        }
+        let params = crate::MrParams::new(self.engine.alpha)?;
+        let lists = exact_knn_indices(&features, self.engine.knn_k, 0)?;
+        // Pin the heat-kernel bandwidth now: inserted edges must be weighted
+        // on the same scale as the initial graph.
+        let sigma = estimate_sigma(&lists);
+        let graph =
+            graph_from_neighbor_lists(&lists, EdgeWeighting::HeatKernel { sigma: Some(sigma) })?;
+        let config = MogulConfig {
+            params,
+            factorization: self.engine.factorization,
+            ..MogulConfig::default()
+        };
+        let oos_config = OutOfSampleConfig {
+            num_neighbors: self.engine.out_of_sample_neighbors,
+            cluster_probes: 1,
+        };
+        let n = features.len();
+        let dim = features[0].len();
+        let index = MogulIndex::build(&graph, config)?;
+        let oos = Arc::new(OutOfSampleIndex::new(index, features.clone(), oos_config)?);
+
+        let ids: Vec<usize> = (0..n).collect();
+        let node_of_id: Vec<Option<usize>> = (0..n).map(Some).collect();
+        let snapshot = Arc::new(IndexSnapshot {
+            epoch: 0,
+            oos: Arc::clone(&oos),
+            state: SnapshotState::Clean,
+            ids: ids.clone(),
+            node_of_id: node_of_id.clone(),
+            live_count: n,
+            dim,
+        });
+        let base_neighbors = (0..n).map(|u| graph.neighbors(u).to_vec()).collect();
+        let base_degrees = (0..n).map(|u| graph.weighted_degree(u)).collect();
+        Ok(UpdatableIndex {
+            config,
+            knn_k: self.engine.knn_k,
+            oos_config,
+            policy: self.policy,
+            sigma,
+            graph,
+            features,
+            live: vec![true; n],
+            ids,
+            node_of_id,
+            next_id: n,
+            dim,
+            live_count: n,
+            base: oos,
+            base_neighbors,
+            base_degrees,
+            dirty: BTreeSet::new(),
+            epoch: 0,
+            snapshot,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The updatable index (writer side)
+// ---------------------------------------------------------------------------
+
+/// A Mogul index that accepts inserts and removals after construction.
+///
+/// The writer state lives here; queries run against the immutable
+/// [`IndexSnapshot`]s it publishes ([`UpdatableIndex::snapshot`]). See the
+/// [module docs](self) for the lifecycle and `docs/UPDATES.md` for the
+/// operator's view.
+///
+/// ```
+/// use mogul_core::update::{IndexBuilder, IndexDelta};
+///
+/// // Ten items along a line.
+/// let features: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 0.0]).collect();
+/// let mut index = IndexBuilder::new().knn_k(3).build(features)?;
+///
+/// // Insert one item near the start of the line, remove item 9.
+/// let mut delta = IndexDelta::new();
+/// delta.insert(vec![0.5, 0.0]).remove(9);
+/// let report = index.apply(&delta)?;
+/// let new_id = report.inserted[0];
+///
+/// // The published snapshot sees both changes.
+/// let snapshot = index.snapshot();
+/// let top = snapshot.query_by_id(0, 3)?;
+/// assert!(top.contains(new_id));
+/// assert!(snapshot.query_by_id(9, 3).is_err()); // removed
+/// # Ok::<(), mogul_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct UpdatableIndex {
+    // Fixed configuration.
+    config: MogulConfig,
+    knn_k: usize,
+    oos_config: OutOfSampleConfig,
+    policy: RebuildPolicy,
+    /// Heat-kernel bandwidth pinned at initial construction so incremental
+    /// edges share the weight scale of the initial graph.
+    sigma: f64,
+    // Current collection state in dense node space (tombstones included).
+    graph: Graph,
+    features: Vec<Vec<f64>>,
+    live: Vec<bool>,
+    /// Dense node → stable id.
+    ids: Vec<usize>,
+    /// Stable id → dense node (`None` = removed).
+    node_of_id: Vec<Option<usize>>,
+    next_id: usize,
+    dim: usize,
+    live_count: usize,
+    // Base epoch: the factorized state of the last rebuild.
+    base: Arc<OutOfSampleIndex>,
+    /// Adjacency rows of the base graph (dense nodes `0..base_len`).
+    base_neighbors: Vec<Vec<(usize, f64)>>,
+    /// Weighted degrees of the base graph.
+    base_degrees: Vec<f64>,
+    /// Rows of `W` that differ from the base (the correction support `R`).
+    dirty: BTreeSet<usize>,
+    // Published state.
+    epoch: u64,
+    snapshot: Arc<IndexSnapshot>,
+}
+
+impl UpdatableIndex {
+    /// Start building an updatable index with the paper's defaults.
+    pub fn builder() -> IndexBuilder {
+        IndexBuilder::new()
+    }
+
+    /// The currently published snapshot (cheap `Arc` clone).
+    pub fn snapshot(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live (queryable) items.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// `true` when no live items remain (never: the last item cannot be
+    /// removed).
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// `true` when the stable id refers to a live item.
+    pub fn contains(&self, id: usize) -> bool {
+        self.node_of_id.get(id).copied().flatten().is_some()
+    }
+
+    /// The configured rebuild policy.
+    pub fn policy(&self) -> RebuildPolicy {
+        self.policy
+    }
+
+    /// Current rebuild debt.
+    pub fn debt(&self) -> RebuildDebt {
+        RebuildDebt {
+            support: self.dirty.len(),
+            correction_rank: self.snapshot.correction_rank(),
+            live_items: self.live_count,
+        }
+    }
+
+    /// `true` when the next [`UpdatableIndex::apply`] would trigger a full
+    /// refactorization even without further changes.
+    pub fn needs_rebuild(&self) -> bool {
+        !self.dirty.is_empty() && self.policy.should_rebuild(self.debt())
+    }
+
+    /// Apply a delta: validate every operation, mutate the collection, and
+    /// publish a new snapshot epoch.
+    ///
+    /// The new snapshot reuses the existing factorization through a Woodbury
+    /// correction unless the accumulated debt exceeds the
+    /// [`RebuildPolicy`], in which case the current graph is refactorized
+    /// from scratch (still off the query path — readers keep the previous
+    /// snapshot until this method returns the new one).
+    ///
+    /// An empty delta is a no-op and does not advance the epoch.
+    pub fn apply(&mut self, delta: &IndexDelta) -> Result<UpdateReport> {
+        if delta.is_empty() {
+            return Ok(UpdateReport {
+                epoch: self.epoch,
+                inserted: Vec::new(),
+                removed: 0,
+                rebuilt: false,
+                debt: self.debt(),
+            });
+        }
+        self.validate(delta)?;
+
+        let mut inserted = Vec::new();
+        let mut removed = 0usize;
+        for op in delta.ops() {
+            match op {
+                UpdateOp::Insert { feature } => inserted.push(self.insert_item(feature.clone())?),
+                UpdateOp::Remove { id } => {
+                    self.remove_item(*id)?;
+                    removed += 1;
+                }
+            }
+        }
+
+        let mut rebuilt = self.policy.should_rebuild(RebuildDebt {
+            support: self.dirty.len(),
+            correction_rank: 0,
+            live_items: self.live_count,
+        });
+        if rebuilt {
+            self.rebuild_epoch()?;
+        } else if self.publish_corrected().is_err() {
+            // The correction could not be built (e.g. a numerically singular
+            // capacitance matrix under the incomplete factorization's
+            // approximate base solves). The collection state is already
+            // mutated, so recover by refactorizing — always well-defined —
+            // instead of surfacing an error that would leave the writer
+            // state ahead of the published snapshot.
+            self.rebuild_epoch()?;
+            rebuilt = true;
+        }
+        Ok(UpdateReport {
+            epoch: self.epoch,
+            inserted,
+            removed,
+            rebuilt,
+            debt: self.debt(),
+        })
+    }
+
+    /// Force a full refactorization of the current graph and publish it as a
+    /// fresh (debt-free) snapshot epoch. This is the "background" half of the
+    /// lifecycle: run it from a maintenance thread while queries keep hitting
+    /// the previous snapshot.
+    pub fn rebuild(&mut self) -> Result<UpdateReport> {
+        self.rebuild_epoch()?;
+        Ok(UpdateReport {
+            epoch: self.epoch,
+            inserted: Vec::new(),
+            removed: 0,
+            rebuilt: true,
+            debt: self.debt(),
+        })
+    }
+
+    // -- validation ---------------------------------------------------------
+
+    fn validate(&self, delta: &IndexDelta) -> Result<()> {
+        let mut sim_next = self.next_id;
+        let mut sim_removed: BTreeSet<usize> = BTreeSet::new();
+        let mut sim_live = self.live_count;
+        for op in delta.ops() {
+            match op {
+                UpdateOp::Insert { feature } => {
+                    if feature.len() != self.dim {
+                        return Err(CoreError::DimensionMismatch {
+                            op: "update insert feature",
+                            left: (1, self.dim),
+                            right: (1, feature.len()),
+                        });
+                    }
+                    if !feature.iter().all(|v| v.is_finite()) {
+                        return Err(CoreError::InvalidInput(
+                            "inserted feature contains non-finite values".into(),
+                        ));
+                    }
+                    sim_next += 1;
+                    sim_live += 1;
+                }
+                UpdateOp::Remove { id } => {
+                    let known = *id < sim_next
+                        && !sim_removed.contains(id)
+                        && (*id >= self.next_id || self.contains(*id));
+                    if !known {
+                        return Err(CoreError::InvalidInput(format!(
+                            "cannot remove item {id}: unknown or already removed"
+                        )));
+                    }
+                    if sim_live == 1 {
+                        return Err(CoreError::InvalidInput(
+                            "cannot remove the last live item".into(),
+                        ));
+                    }
+                    sim_removed.insert(*id);
+                    sim_live -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- mutation -----------------------------------------------------------
+
+    fn insert_item(&mut self, feature: Vec<f64>) -> Result<usize> {
+        let node = self.graph.add_node();
+        let id = self.next_id;
+        self.next_id += 1;
+
+        // k nearest live items of the new feature: one O(n·d) scan with a
+        // bounded max-heap of the k best candidates (no full sort).
+        let k = self.knn_k;
+        // Order candidates by (distance, id); distances are finite and
+        // non-negative, so their IEEE bit patterns order like the values.
+        let mut heap: std::collections::BinaryHeap<(u64, usize)> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for u in 0..self.features.len() {
+            if !self.live[u] {
+                continue;
+            }
+            let d2 = mogul_sparse::vector::squared_euclidean_unchecked(&feature, &self.features[u]);
+            let key = (d2.to_bits(), u);
+            if heap.len() < k {
+                heap.push(key);
+            } else if let Some(&worst) = heap.peek() {
+                if key < worst {
+                    heap.pop();
+                    heap.push(key);
+                }
+            }
+        }
+        let mut scored: Vec<(usize, f64)> = heap
+            .into_iter()
+            .map(|(bits, u)| (u, f64::from_bits(bits).sqrt()))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+
+        self.features.push(feature);
+        self.live.push(true);
+        self.ids.push(id);
+        self.node_of_id.push(Some(node));
+        self.live_count += 1;
+
+        for &(u, d) in &scored {
+            // Same heat-kernel weighting (and pinned bandwidth) as the
+            // initial graph construction.
+            let weight = (-d * d / (2.0 * self.sigma * self.sigma)).exp().max(1e-300);
+            self.graph.add_edge(node, u, weight)?;
+            self.dirty.insert(u);
+        }
+        self.dirty.insert(node);
+        Ok(id)
+    }
+
+    fn remove_item(&mut self, id: usize) -> Result<()> {
+        let node = self.node_of_id[id].take().ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "cannot remove item {id}: unknown or already removed"
+            ))
+        })?;
+        self.live[node] = false;
+        self.live_count -= 1;
+        let removed = self.graph.disconnect_node(node)?;
+        self.dirty.insert(node);
+        for (v, _) in removed {
+            self.dirty.insert(v);
+        }
+        Ok(())
+    }
+
+    // -- snapshot production ------------------------------------------------
+
+    /// The entry `W(u, v)` of the current ranking system for an edge of
+    /// weight `w` between nodes of weighted degrees `cu`, `cv`.
+    fn system_entry(alpha: f64, w: f64, cu: f64, cv: f64) -> f64 {
+        if cu > 0.0 && cv > 0.0 {
+            -alpha * w / (cu * cv).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Sparse row `Δ_u = W_current(u, ·) − W_base(u, ·)` (off-diagonal only;
+    /// the unit diagonal never changes).
+    fn delta_row(&self, u: usize, degrees: &[f64]) -> Vec<(usize, f64)> {
+        let alpha = self.config.params.alpha;
+        let cur = self.graph.neighbors(u);
+        let base: &[(usize, f64)] = if u < self.base_neighbors.len() {
+            &self.base_neighbors[u]
+        } else {
+            &[]
+        };
+        let cu_cur = degrees[u];
+        let cu_base = self.base_degrees.get(u).copied().unwrap_or(0.0);
+        let base_degree = |v: usize| self.base_degrees.get(v).copied().unwrap_or(0.0);
+
+        let mut out = Vec::with_capacity(cur.len() + base.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < cur.len() || b < base.len() {
+            let next_cur = cur.get(a).map(|&(v, _)| v);
+            let next_base = base.get(b).map(|&(v, _)| v);
+            let (v, cur_w, base_w) = match (next_cur, next_base) {
+                (Some(cv), Some(bv)) if cv == bv => {
+                    let entry = (cv, Some(cur[a].1), Some(base[b].1));
+                    a += 1;
+                    b += 1;
+                    entry
+                }
+                (Some(cv), Some(bv)) if cv < bv => {
+                    let entry = (cv, Some(cur[a].1), None);
+                    a += 1;
+                    entry
+                }
+                (Some(_), Some(bv)) => {
+                    let entry = (bv, None, Some(base[b].1));
+                    b += 1;
+                    entry
+                }
+                (Some(cv), None) => {
+                    let entry = (cv, Some(cur[a].1), None);
+                    a += 1;
+                    entry
+                }
+                (None, Some(bv)) => {
+                    let entry = (bv, None, Some(base[b].1));
+                    b += 1;
+                    entry
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            let value_cur = cur_w.map_or(0.0, |w| Self::system_entry(alpha, w, cu_cur, degrees[v]));
+            let value_base = base_w.map_or(0.0, |w| {
+                Self::system_entry(alpha, w, cu_base, base_degree(v))
+            });
+            let delta = value_cur - value_base;
+            if delta != 0.0 {
+                out.push((v, delta));
+            }
+        }
+        out
+    }
+
+    /// Publish a corrected snapshot: decompose the accumulated `Δ` into
+    /// `U Vᵀ` and precompute the Woodbury correction against the base
+    /// factors.
+    fn publish_corrected(&mut self) -> Result<()> {
+        let total = self.graph.num_nodes();
+        let base_len = self.base.index().num_nodes();
+        let degrees: Vec<f64> = (0..total).map(|u| self.graph.weighted_degree(u)).collect();
+        let support: Vec<usize> = self.dirty.iter().copied().collect();
+        let mut in_support = vec![false; total];
+        for &u in &support {
+            in_support[u] = true;
+        }
+
+        // Δ = E_R A_R + B E_Rᵀ → U = [E_R | B], V = [A_Rᵀ | E_R].
+        let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(2 * support.len());
+        let mut v_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(2 * support.len());
+        let mut settled = Vec::new();
+        for &row in &support {
+            let delta_row = self.delta_row(row, &degrees);
+            if delta_row.is_empty() {
+                // The row reverted to its base value (e.g. insert-then-remove
+                // churn): it contributes nothing and carries no debt. Since Δ
+                // is symmetric, its column is all-zero too, so dropping it
+                // from the support loses no entries.
+                settled.push(row);
+                continue;
+            }
+            let b_col: Vec<(usize, f64)> = delta_row
+                .iter()
+                .copied()
+                .filter(|&(v, _)| !in_support[v])
+                .collect();
+            u_cols.push(vec![(row, 1.0)]);
+            v_cols.push(delta_row);
+            if !b_col.is_empty() {
+                u_cols.push(b_col);
+                v_cols.push(vec![(row, 1.0)]);
+            }
+        }
+        for row in settled {
+            self.dirty.remove(&row);
+        }
+
+        let base = Arc::clone(&self.base);
+        let mut solve_ws = SearchWorkspace::with_capacity(base_len);
+        let mut base_part = Vec::with_capacity(base_len);
+        let correction = WoodburyCorrection::new(total, &u_cols, v_cols, |rhs, out| {
+            base.index().solve_ranking_system_in(
+                &mut solve_ws,
+                &rhs[..base_len],
+                &mut base_part,
+            )?;
+            out.clear();
+            out.extend_from_slice(&base_part);
+            out.extend_from_slice(&rhs[base_len..]);
+            Ok(())
+        })?;
+
+        self.epoch += 1;
+        self.snapshot = Arc::new(IndexSnapshot {
+            epoch: self.epoch,
+            oos: Arc::clone(&self.base),
+            state: SnapshotState::Corrected {
+                correction,
+                features: self.features.clone(),
+                live: self.live.clone(),
+            },
+            ids: self.ids.clone(),
+            node_of_id: self.node_of_id.clone(),
+            live_count: self.live_count,
+            dim: self.dim,
+        });
+        Ok(())
+    }
+
+    /// Full refactorization of the current graph: compact tombstones,
+    /// recluster, reorder, refactorize, and publish a debt-free snapshot.
+    /// Stable ids survive; dense node indices are reassigned.
+    fn rebuild_epoch(&mut self) -> Result<()> {
+        let total = self.graph.num_nodes();
+        let mut new_of_old = vec![usize::MAX; total];
+        let mut new_features = Vec::with_capacity(self.live_count);
+        let mut new_ids = Vec::with_capacity(self.live_count);
+        for old in 0..total {
+            if self.live[old] {
+                new_of_old[old] = new_features.len();
+                new_features.push(self.features[old].clone());
+                new_ids.push(self.ids[old]);
+            }
+        }
+        let m = new_features.len();
+        let mut new_graph = Graph::empty(m);
+        for old in 0..total {
+            if !self.live[old] {
+                continue;
+            }
+            for &(v, w) in self.graph.neighbors(old) {
+                debug_assert!(self.live[v], "tombstones are always disconnected");
+                if v > old {
+                    new_graph.add_edge(new_of_old[old], new_of_old[v], w)?;
+                }
+            }
+        }
+
+        let index = MogulIndex::build(&new_graph, self.config)?;
+        let oos = Arc::new(OutOfSampleIndex::new(
+            index,
+            new_features.clone(),
+            self.oos_config,
+        )?);
+
+        self.base_neighbors = (0..m).map(|u| new_graph.neighbors(u).to_vec()).collect();
+        self.base_degrees = (0..m).map(|u| new_graph.weighted_degree(u)).collect();
+        self.graph = new_graph;
+        self.features = new_features;
+        self.live = vec![true; m];
+        for slot in self.node_of_id.iter_mut() {
+            *slot = None;
+        }
+        for (new, &id) in new_ids.iter().enumerate() {
+            self.node_of_id[id] = Some(new);
+        }
+        self.ids = new_ids;
+        self.base = Arc::clone(&oos);
+        self.dirty.clear();
+
+        self.epoch += 1;
+        self.snapshot = Arc::new(IndexSnapshot {
+            epoch: self.epoch,
+            oos,
+            state: SnapshotState::Clean,
+            ids: self.ids.clone(),
+            node_of_id: self.node_of_id.clone(),
+            live_count: self.live_count,
+            dim: self.dim,
+        });
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots (reader side)
+// ---------------------------------------------------------------------------
+
+/// How an [`IndexSnapshot`] answers queries.
+#[derive(Debug)]
+enum SnapshotState {
+    /// The snapshot *is* the factorized index: no tombstones, no appended
+    /// items, queries run the ordinary pruned Algorithm 2 paths.
+    Clean,
+    /// Items changed since the last rebuild: queries solve against the base
+    /// factors plus a Woodbury correction (full substitution, no pruning),
+    /// filtered through the live set.
+    Corrected {
+        correction: WoodburyCorrection,
+        /// Current features in dense node space (phase 1 of out-of-sample
+        /// queries scans these).
+        features: Vec<Vec<f64>>,
+        /// Live flags in dense node space.
+        live: Vec<bool>,
+    },
+}
+
+/// Reusable scratch for the snapshot query paths (one per serving worker).
+///
+/// Wraps an [`OosWorkspace`] (whose embedded search scratch also drives the
+/// base solves) plus the correction buffers. Carries no snapshot state: any
+/// workspace works with any snapshot and results are identical either way.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotWorkspace {
+    /// Scratch of the clean (pruned Algorithm 2) paths.
+    oos: OosWorkspace,
+    /// Densified right-hand side of the corrected solve.
+    rhs: Vec<f64>,
+    /// Corrected score vector.
+    scores: Vec<f64>,
+    /// Woodbury scratch.
+    corr: CorrectionWorkspace,
+    /// Phase-1 `(node, distance)` pairs of corrected out-of-sample queries.
+    scored: Vec<(usize, f64)>,
+    /// Phase-1 weighted query vector.
+    weights: Vec<(usize, f64)>,
+}
+
+impl SnapshotWorkspace {
+    /// An empty workspace; buffers grow to the index size on first use.
+    pub fn new() -> Self {
+        SnapshotWorkspace::default()
+    }
+
+    /// The embedded out-of-sample / search scratch.
+    pub fn oos_mut(&mut self) -> &mut OosWorkspace {
+        &mut self.oos
+    }
+}
+
+/// An immutable, epoch-stamped view of the collection: the unit the serving
+/// layer swaps atomically.
+///
+/// A snapshot is either **clean** (fresh factorization — queries take the
+/// ordinary pruned paths at full speed) or **corrected** (base factorization
+/// plus a Woodbury update — queries pay `O(n · rank)` extra). Results always
+/// reference items by stable id.
+#[derive(Debug)]
+pub struct IndexSnapshot {
+    epoch: u64,
+    oos: Arc<OutOfSampleIndex>,
+    state: SnapshotState,
+    /// Dense node → stable id.
+    ids: Vec<usize>,
+    /// Stable id → dense node.
+    node_of_id: Vec<Option<usize>>,
+    live_count: usize,
+    dim: usize,
+}
+
+impl IndexSnapshot {
+    /// Wrap a plain immutable [`OutOfSampleIndex`] as epoch-0 clean snapshot
+    /// with identity ids — how `mogul-serve` adapts indexes that never
+    /// update.
+    pub fn wrap(oos: Arc<OutOfSampleIndex>) -> Self {
+        let n = oos.index().num_nodes();
+        let dim = oos.feature_dim();
+        IndexSnapshot {
+            epoch: 0,
+            oos,
+            state: SnapshotState::Clean,
+            ids: (0..n).collect(),
+            node_of_id: (0..n).map(Some).collect(),
+            live_count: n,
+            dim,
+        }
+    }
+
+    /// Epoch counter (0 for the initial build, +1 per published update).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live (queryable) items.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// `true` when no live items remain (cannot happen through the public
+    /// API; kept for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// `true` when the stable id refers to a live item in this snapshot.
+    pub fn contains(&self, id: usize) -> bool {
+        self.node_of_id.get(id).copied().flatten().is_some()
+    }
+
+    /// Stable ids of every live item (ascending).
+    pub fn item_ids(&self) -> Vec<usize> {
+        let mut ids = self.ids.clone();
+        match &self.state {
+            SnapshotState::Clean => {}
+            SnapshotState::Corrected { live, .. } => {
+                ids = ids
+                    .iter()
+                    .zip(live.iter())
+                    .filter(|&(_, &l)| l)
+                    .map(|(&id, _)| id)
+                    .collect();
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Rank of the active Woodbury correction (0 for a clean snapshot).
+    pub fn correction_rank(&self) -> usize {
+        match &self.state {
+            SnapshotState::Clean => 0,
+            SnapshotState::Corrected { correction, .. } => correction.rank(),
+        }
+    }
+
+    /// `true` when this snapshot carries no correction (fresh
+    /// factorization).
+    pub fn is_clean(&self) -> bool {
+        matches!(self.state, SnapshotState::Clean)
+    }
+
+    /// The factorized base index this snapshot answers from.
+    pub fn base(&self) -> &OutOfSampleIndex {
+        &self.oos
+    }
+
+    /// Dimensionality of the indexed feature vectors.
+    pub fn feature_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Top-k for a live item, by stable id (the item itself is excluded).
+    pub fn query_by_id(&self, id: usize, k: usize) -> Result<TopKResult> {
+        self.query_by_id_in(&mut SnapshotWorkspace::new(), id, k)
+    }
+
+    /// [`IndexSnapshot::query_by_id`] with caller-owned scratch.
+    pub fn query_by_id_in(
+        &self,
+        ws: &mut SnapshotWorkspace,
+        id: usize,
+        k: usize,
+    ) -> Result<TopKResult> {
+        check_k(k)?;
+        let node = self.node_of_id.get(id).copied().flatten().ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "item {id} is not in this snapshot (never inserted, or removed)"
+            ))
+        })?;
+        match &self.state {
+            SnapshotState::Clean => {
+                let top = self.oos.index().search_in(ws.oos.search_mut(), node, k)?;
+                Ok(self.remap_top_k(&top))
+            }
+            SnapshotState::Corrected {
+                correction, live, ..
+            } => {
+                let SnapshotWorkspace {
+                    oos,
+                    rhs,
+                    scores,
+                    corr,
+                    ..
+                } = ws;
+                self.corrected_scores(
+                    oos.search_mut(),
+                    rhs,
+                    scores,
+                    corr,
+                    correction,
+                    &[(node, 1.0)],
+                )?;
+                Ok(self.select_top_k(scores, live, k, Some(node)))
+            }
+        }
+    }
+
+    /// Top-k for an arbitrary feature vector (out-of-sample query).
+    ///
+    /// On a corrected snapshot, phase 1 (neighbour collection) is an exact
+    /// nearest-neighbour scan over the live features instead of the
+    /// centroid-probe of [`OutOfSampleIndex`]: inserted items are not part
+    /// of the base clustering, so the centroids cannot see them.
+    pub fn query_by_feature(&self, feature: &[f64], k: usize) -> Result<OutOfSampleResult> {
+        self.query_by_feature_in(&mut SnapshotWorkspace::new(), feature, k)
+    }
+
+    /// [`IndexSnapshot::query_by_feature`] with caller-owned scratch.
+    pub fn query_by_feature_in(
+        &self,
+        ws: &mut SnapshotWorkspace,
+        feature: &[f64],
+        k: usize,
+    ) -> Result<OutOfSampleResult> {
+        match &self.state {
+            SnapshotState::Clean => {
+                let mut result = self.oos.query_in(&mut ws.oos, feature, k)?;
+                result.top_k = self.remap_top_k(&result.top_k);
+                for node in result.neighbors.iter_mut() {
+                    *node = self.ids[*node];
+                }
+                Ok(result)
+            }
+            SnapshotState::Corrected {
+                correction,
+                features,
+                live,
+            } => {
+                check_k(k)?;
+                if feature.len() != self.dim {
+                    return Err(CoreError::DimensionMismatch {
+                        op: "out-of-sample query feature",
+                        left: (1, self.dim),
+                        right: (1, feature.len()),
+                    });
+                }
+                if !feature.iter().all(|v| v.is_finite()) {
+                    return Err(CoreError::InvalidInput(
+                        "query feature contains non-finite values".into(),
+                    ));
+                }
+
+                // Phase 1: exact nearest neighbours among live items, then
+                // normalized heat-kernel weights (mirrors
+                // `OutOfSampleIndex::query_in`). A bounded max-heap keeps
+                // the scan at O(n log num_neighbors) instead of sorting all
+                // n candidates; finite non-negative distances order by their
+                // IEEE bit patterns, so the key is `(bits, node)`.
+                let nn_start = Instant::now();
+                let num_neighbors = self.oos.config().num_neighbors;
+                let mut nearest: std::collections::BinaryHeap<(u64, usize)> =
+                    std::collections::BinaryHeap::with_capacity(num_neighbors + 1);
+                for u in 0..features.len() {
+                    if !live[u] {
+                        continue;
+                    }
+                    let d2 =
+                        mogul_sparse::vector::squared_euclidean_unchecked(feature, &features[u]);
+                    let key = (d2.to_bits(), u);
+                    if nearest.len() < num_neighbors {
+                        nearest.push(key);
+                    } else if let Some(&worst) = nearest.peek() {
+                        if key < worst {
+                            nearest.pop();
+                            nearest.push(key);
+                        }
+                    }
+                }
+                ws.scored.clear();
+                ws.scored.extend(
+                    nearest
+                        .into_sorted_vec()
+                        .into_iter()
+                        .map(|(bits, u)| (u, f64::from_bits(bits).sqrt())),
+                );
+                let sigma = {
+                    let mean: f64 = ws.scored.iter().map(|&(_, d)| d).sum::<f64>()
+                        / ws.scored.len().max(1) as f64;
+                    mean.max(1e-12)
+                };
+                ws.weights.clear();
+                ws.weights.extend(
+                    ws.scored
+                        .iter()
+                        .map(|&(node, d)| (node, (-d * d / (2.0 * sigma * sigma)).exp())),
+                );
+                let total: f64 = ws.weights.iter().map(|&(_, w)| w).sum();
+                if total > 1e-300 {
+                    for w in ws.weights.iter_mut() {
+                        w.1 /= total;
+                    }
+                } else {
+                    let uniform = 1.0 / ws.weights.len().max(1) as f64;
+                    for w in ws.weights.iter_mut() {
+                        w.1 = uniform;
+                    }
+                }
+                let nearest_neighbor_secs = nn_start.elapsed().as_secs_f64();
+
+                // Phase 2: corrected solve over the weighted query vector.
+                let search_start = Instant::now();
+                let SnapshotWorkspace {
+                    oos,
+                    rhs,
+                    scores,
+                    corr,
+                    scored,
+                    weights,
+                } = ws;
+                self.corrected_scores(oos.search_mut(), rhs, scores, corr, correction, weights)?;
+                let top_k = self.select_top_k(scores, live, k, None);
+                let top_k_secs = search_start.elapsed().as_secs_f64();
+
+                Ok(OutOfSampleResult {
+                    top_k,
+                    neighbors: scored.iter().map(|&(node, _)| self.ids[node]).collect(),
+                    nearest_neighbor_secs,
+                    top_k_secs,
+                    stats: SearchStats {
+                        clusters_considered: 0,
+                        clusters_pruned: 0,
+                        nodes_scored: scores.len(),
+                        bound_evaluations: 0,
+                    },
+                })
+            }
+        }
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// `(1 − α)`-scaled corrected score vector for a sparse weighted query
+    /// (dense node space): base solve on the factorized block, identity on
+    /// the appended block, then the Woodbury correction.
+    fn corrected_scores(
+        &self,
+        solve_ws: &mut SearchWorkspace,
+        rhs: &mut Vec<f64>,
+        scores: &mut Vec<f64>,
+        corr: &mut CorrectionWorkspace,
+        correction: &WoodburyCorrection,
+        query_weights: &[(usize, f64)],
+    ) -> Result<()> {
+        let total = correction.dim();
+        let base_len = self.oos.index().num_nodes();
+        let scale = self.oos.index().params().query_scale();
+        rhs.clear();
+        rhs.resize(total, 0.0);
+        for &(node, weight) in query_weights {
+            rhs[node] += weight * scale;
+        }
+        self.oos
+            .index()
+            .solve_ranking_system_in(solve_ws, &rhs[..base_len], scores)?;
+        scores.extend_from_slice(&rhs[base_len..]);
+        correction.apply_in(corr, scores)?;
+        Ok(())
+    }
+
+    /// Top-k over a dense score vector, filtered to live nodes, excluding
+    /// the query node, reported by stable id. Mirrors Algorithm 2's
+    /// threshold semantics: only non-negative scores are eligible.
+    fn select_top_k(
+        &self,
+        scores: &[f64],
+        live: &[bool],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> TopKResult {
+        // Bounded max-heap of the k best candidates — O(n log k), not a full
+        // sort. Keys are `(Reverse(score_bits), stable_id)` so "smaller key"
+        // means "better" (higher score, ties to the lower id); eligible
+        // scores are finite and ≥ 0, so their IEEE bit patterns order like
+        // the values once −0.0 is normalized.
+        use std::cmp::Reverse;
+        let mut heap: std::collections::BinaryHeap<(Reverse<u64>, usize)> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (node, &score) in scores.iter().enumerate() {
+            if !live[node] || Some(node) == exclude || !score.is_finite() || score < 0.0 {
+                continue;
+            }
+            let score = if score == 0.0 { 0.0 } else { score };
+            let key = (Reverse(score.to_bits()), self.ids[node]);
+            if heap.len() < k {
+                heap.push(key);
+            } else if let Some(&worst) = heap.peek() {
+                if key < worst {
+                    heap.pop();
+                    heap.push(key);
+                }
+            }
+        }
+        TopKResult::new(
+            heap.into_sorted_vec()
+                .into_iter()
+                .map(|(Reverse(bits), id)| RankedNode {
+                    node: id,
+                    score: f64::from_bits(bits),
+                })
+                .collect(),
+        )
+    }
+
+    /// Translate a dense-node top-k into stable ids.
+    fn remap_top_k(&self, top: &TopKResult) -> TopKResult {
+        TopKResult::new(
+            top.items()
+                .iter()
+                .map(|item| RankedNode {
+                    node: self.ids[item.node],
+                    score: item.score,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated clusters of 2-D points.
+    fn two_cluster_features() -> Vec<Vec<f64>> {
+        let mut features = Vec::new();
+        for i in 0..8 {
+            features.push(vec![0.1 * i as f64, 0.05 * (i % 3) as f64]);
+        }
+        for i in 0..8 {
+            features.push(vec![10.0 + 0.1 * i as f64, 5.0 + 0.05 * (i % 3) as f64]);
+        }
+        features
+    }
+
+    fn builder() -> IndexBuilder {
+        IndexBuilder::new()
+            .knn_k(3)
+            .exact_ranking()
+            .rebuild_policy(RebuildPolicy::never())
+    }
+
+    #[test]
+    fn insert_is_visible_and_old_snapshots_are_not_disturbed() {
+        let mut index = builder().build(two_cluster_features()).unwrap();
+        assert_eq!(index.epoch(), 0);
+        assert_eq!(index.len(), 16);
+        let before = index.snapshot();
+
+        // Insert an item in the middle of cluster 0.
+        let mut delta = IndexDelta::new();
+        delta.insert(vec![0.35, 0.05]);
+        let report = index.apply(&delta).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert!(!report.rebuilt);
+        assert_eq!(report.inserted, vec![16]);
+        assert!(report.debt.support > 0);
+        assert!(index.contains(16));
+
+        let after = index.snapshot();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.len(), 17);
+        assert!(!after.is_clean());
+        assert!(after.correction_rank() > 0);
+
+        // The new item ranks among the neighbours of a cluster-0 query...
+        let top = after.query_by_id(3, 5).unwrap();
+        assert!(top.contains(16), "inserted item missing from {top:?}");
+        // ... and the new item's own query stays inside cluster 0.
+        let own = after.query_by_id(16, 4).unwrap();
+        for item in own.items() {
+            assert!(item.node < 8, "unexpected neighbour {item:?}");
+        }
+
+        // The pre-insert snapshot is immutable: same epoch, no new item.
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.len(), 16);
+        assert!(!before.query_by_id(3, 5).unwrap().contains(16));
+        assert!(before.query_by_id(16, 3).is_err());
+    }
+
+    #[test]
+    fn corrected_queries_match_a_full_refactorization_exactly() {
+        // MogulE mode: the Woodbury-corrected scores must equal the scores
+        // of a from-scratch refactorization of the same graph.
+        let mut incremental = builder().build(two_cluster_features()).unwrap();
+        let mut delta = IndexDelta::new();
+        delta
+            .insert(vec![0.22, 0.02])
+            .insert(vec![10.4, 5.08])
+            .remove(5)
+            .remove(12);
+        incremental.apply(&delta).unwrap();
+        let corrected = incremental.snapshot();
+        assert!(!corrected.is_clean());
+
+        // Same collection state, refactorized.
+        incremental.rebuild().unwrap();
+        let rebuilt = incremental.snapshot();
+        assert!(rebuilt.is_clean());
+        assert_eq!(corrected.item_ids(), rebuilt.item_ids());
+
+        for &id in corrected.item_ids().iter() {
+            let a = corrected.query_by_id(id, 3).unwrap();
+            let b = rebuilt.query_by_id(id, 3).unwrap();
+            assert_eq!(a.nodes(), b.nodes(), "query {id}");
+            for (x, y) in a.items().iter().zip(b.items().iter()) {
+                assert!(
+                    (x.score - y.score).abs() < 1e-9,
+                    "query {id}: {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removals_disappear_from_results() {
+        let mut index = builder().build(two_cluster_features()).unwrap();
+        let mut delta = IndexDelta::new();
+        delta.remove(4);
+        let report = index.apply(&delta).unwrap();
+        assert_eq!(report.removed, 1);
+        assert!(!index.contains(4));
+        assert_eq!(index.len(), 15);
+
+        let snapshot = index.snapshot();
+        assert!(snapshot.query_by_id(4, 3).is_err());
+        for &id in &[0usize, 3, 7] {
+            assert!(!snapshot.query_by_id(id, 6).unwrap().contains(4));
+        }
+        // Remove twice → error, state unchanged.
+        let mut again = IndexDelta::new();
+        again.remove(4);
+        assert!(index.apply(&again).is_err());
+        assert_eq!(index.epoch(), 1);
+    }
+
+    #[test]
+    fn debt_policy_triggers_automatic_rebuild() {
+        let mut index = IndexBuilder::new()
+            .knn_k(3)
+            .rebuild_policy(RebuildPolicy {
+                max_support: 2,
+                max_support_fraction: 1.0,
+            })
+            .build(two_cluster_features())
+            .unwrap();
+        let mut delta = IndexDelta::new();
+        delta.insert(vec![0.3, 0.01]); // dirties the item + 3 neighbours
+        let report = index.apply(&delta).unwrap();
+        assert!(report.rebuilt);
+        assert_eq!(report.debt.support, 0);
+        let snapshot = index.snapshot();
+        assert!(snapshot.is_clean());
+        assert_eq!(snapshot.correction_rank(), 0);
+        // The inserted item survived the rebuild under its stable id.
+        assert!(snapshot.contains(16));
+        assert!(snapshot.query_by_id(16, 3).is_ok());
+        assert!(!index.needs_rebuild());
+    }
+
+    #[test]
+    fn out_of_sample_queries_see_inserted_items() {
+        let mut index = builder().build(two_cluster_features()).unwrap();
+        let probe = vec![0.33, 0.04];
+        let mut delta = IndexDelta::new();
+        delta.insert(probe.clone());
+        let id = index.apply(&delta).unwrap().inserted[0];
+
+        let snapshot = index.snapshot();
+        let result = snapshot.query_by_feature(&probe, 4).unwrap();
+        assert!(
+            result.top_k.contains(id),
+            "inserted item missing from {:?}",
+            result.top_k
+        );
+        assert!(result.neighbors.contains(&id));
+        assert!(result.total_secs() >= 0.0);
+
+        // Workspace reuse matches fresh scratch on both query kinds.
+        let mut ws = SnapshotWorkspace::new();
+        let fresh = snapshot.query_by_feature(&probe, 4).unwrap();
+        let reused = snapshot.query_by_feature_in(&mut ws, &probe, 4).unwrap();
+        assert_eq!(fresh.top_k, reused.top_k);
+        assert_eq!(fresh.neighbors, reused.neighbors);
+        assert_eq!(
+            snapshot.query_by_id(0, 5).unwrap(),
+            snapshot.query_by_id_in(&mut ws, 0, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_deltas_atomically() {
+        let mut index = builder().build(two_cluster_features()).unwrap();
+        // Wrong dimension.
+        let mut bad_dim = IndexDelta::new();
+        bad_dim.insert(vec![1.0]);
+        assert!(index.apply(&bad_dim).is_err());
+        // Non-finite feature.
+        let mut bad_value = IndexDelta::new();
+        bad_value.insert(vec![f64::NAN, 0.0]);
+        assert!(index.apply(&bad_value).is_err());
+        // Unknown id.
+        let mut bad_id = IndexDelta::new();
+        bad_id.remove(99);
+        assert!(index.apply(&bad_id).is_err());
+        // A good insert staged before a bad removal must not leak through.
+        let mut mixed = IndexDelta::new();
+        mixed.insert(vec![0.5, 0.0]).remove(99);
+        assert!(index.apply(&mixed).is_err());
+        assert_eq!(index.len(), 16);
+        assert_eq!(index.epoch(), 0);
+        assert!(index.snapshot().is_clean());
+        // Empty delta: no-op, same epoch.
+        let report = index.apply(&IndexDelta::new()).unwrap();
+        assert_eq!(report.epoch, 0);
+
+        // Removing everything is rejected at the last item.
+        let mut drain = IndexDelta::new();
+        for id in 0..16 {
+            drain.remove(id);
+        }
+        assert!(index.apply(&drain).is_err());
+        assert_eq!(index.len(), 16);
+
+        // In-delta insert-then-remove of the same item is legal — and leaves
+        // zero rebuild debt: every touched row reverts to its base value, so
+        // the support settles back to empty instead of counting phantom debt.
+        let mut churn = IndexDelta::new();
+        churn.insert(vec![0.5, 0.0]);
+        churn.remove(16);
+        let report = index.apply(&churn).unwrap();
+        assert_eq!(report.inserted, vec![16]);
+        assert_eq!(report.removed, 1);
+        assert_eq!(index.len(), 16);
+        assert!(!index.contains(16));
+        assert_eq!(report.debt.support, 0);
+        let snapshot = index.snapshot();
+        // The tombstoned slot keeps the snapshot on the corrected path, but
+        // with a rank-0 correction, and queries still exclude the tombstone.
+        assert_eq!(snapshot.correction_rank(), 0);
+        assert!(snapshot.query_by_id(16, 3).is_err());
+        assert!(!snapshot.query_by_id(0, 10).unwrap().contains(16));
+    }
+
+    #[test]
+    fn wrapped_snapshot_matches_the_underlying_index() {
+        let features = two_cluster_features();
+        let engine = crate::RetrievalEngine::builder()
+            .knn_k(3)
+            .build(features.clone())
+            .unwrap();
+        let oos = Arc::new(engine.into_out_of_sample());
+        let snapshot = IndexSnapshot::wrap(Arc::clone(&oos));
+        assert_eq!(snapshot.epoch(), 0);
+        assert!(snapshot.is_clean());
+        assert_eq!(snapshot.len(), features.len());
+        assert_eq!(snapshot.feature_dim(), 2);
+        // Identity ids: snapshot answers equal the raw index answers.
+        assert_eq!(
+            snapshot.query_by_id(2, 4).unwrap(),
+            oos.index().search(2, 4).unwrap()
+        );
+        let a = snapshot.query_by_feature(&features[5], 4).unwrap();
+        let b = oos.query(&features[5], 4).unwrap();
+        assert_eq!(a.top_k, b.top_k);
+        assert_eq!(a.neighbors, b.neighbors);
+    }
+}

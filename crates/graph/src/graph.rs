@@ -80,6 +80,13 @@ impl Graph {
         }
     }
 
+    /// Append a new isolated node and return its id (incremental ingest:
+    /// `mogul-core::update` grows the graph one inserted item at a time).
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -113,6 +120,58 @@ impl Graph {
     pub fn total_weight(&self) -> f64 {
         let twice: f64 = (0..self.num_nodes()).map(|u| self.weighted_degree(u)).sum();
         twice / 2.0
+    }
+
+    /// Remove the undirected edge `(u, v)`; returns `true` if it existed.
+    ///
+    /// Used by the incremental index maintenance in `mogul-core::update`
+    /// (item removal disconnects the node, item insertion may retract stale
+    /// edges); out-of-range endpoints are rejected like in
+    /// [`Graph::add_edge`].
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<bool> {
+        let n = self.num_nodes();
+        if u >= n || v >= n {
+            return Err(GraphError::IndexOutOfBounds {
+                index: (u, v),
+                shape: (n, n),
+            });
+        }
+        let removed_u = Self::remove_neighbor(&mut self.adj[u], v);
+        let removed_v = Self::remove_neighbor(&mut self.adj[v], u);
+        debug_assert_eq!(removed_u, removed_v);
+        if removed_u {
+            self.num_edges -= 1;
+        }
+        Ok(removed_u)
+    }
+
+    fn remove_neighbor(list: &mut Vec<(usize, f64)>, target: usize) -> bool {
+        match list.binary_search_by_key(&target, |&(id, _)| id) {
+            Ok(pos) => {
+                list.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Remove every edge incident to `u`, leaving it isolated; returns the
+    /// removed `(neighbour, weight)` pairs (sorted by neighbour id).
+    pub fn disconnect_node(&mut self, u: usize) -> Result<Vec<(usize, f64)>> {
+        let n = self.num_nodes();
+        if u >= n {
+            return Err(GraphError::IndexOutOfBounds {
+                index: (u, u),
+                shape: (n, n),
+            });
+        }
+        let removed = std::mem::take(&mut self.adj[u]);
+        for &(v, _) in &removed {
+            let dropped = Self::remove_neighbor(&mut self.adj[v], u);
+            debug_assert!(dropped);
+        }
+        self.num_edges -= removed.len();
+        Ok(removed)
     }
 
     /// `true` if the undirected edge `(u, v)` exists.
@@ -189,6 +248,35 @@ mod tests {
 
     fn triangle_plus_isolated() -> Graph {
         Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 0.5)]).unwrap()
+    }
+
+    #[test]
+    fn incremental_mutation() {
+        let mut g = triangle_plus_isolated();
+
+        // Edge removal is symmetric and updates the edge count.
+        assert!(g.remove_edge(0, 1).unwrap());
+        assert!(!g.has_edge(0, 1) && !g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 2);
+        // Removing a missing edge is a no-op, out-of-range is an error.
+        assert!(!g.remove_edge(0, 1).unwrap());
+        assert!(g.remove_edge(0, 99).is_err());
+
+        // Disconnecting a node reports its former neighbourhood.
+        let removed = g.disconnect_node(2).unwrap();
+        assert_eq!(removed, vec![(0, 0.5), (1, 2.0)]);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.disconnect_node(99).is_err());
+        assert!(g.disconnect_node(3).unwrap().is_empty());
+
+        // Growing the graph appends isolated nodes that accept edges.
+        let new = g.add_node();
+        assert_eq!(new, 4);
+        assert_eq!(g.num_nodes(), 5);
+        g.add_edge(new, 0, 1.25).unwrap();
+        assert_eq!(g.edge_weight(0, new), Some(1.25));
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]

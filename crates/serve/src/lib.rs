@@ -1,6 +1,7 @@
 //! # mogul-serve
 //!
-//! Concurrent batched query serving on top of the Mogul index.
+//! Concurrent batched query serving — with zero-downtime updates — on top of
+//! the Mogul index.
 //!
 //! The paper's central observation (Section 4 of Fujiwara et al., *Scaling
 //! Manifold Ranking Based Image Retrieval*, PVLDB 2014) is that once the
@@ -12,28 +13,41 @@
 //!
 //! This crate provides exactly that serving layer:
 //!
-//! * [`QueryServer`] — wraps an `Arc<OutOfSampleIndex>` (a
-//!   [`MogulIndex`](mogul_core::MogulIndex) plus database features) and
-//!   dispatches single, batched, and mixed in-database / out-of-sample top-k
-//!   requests across a [`std::thread::scope`]-based worker pool.
-//! * [`QueryRequest`] / [`QueryResponse`] — the request/response vocabulary,
-//!   mixing both query kinds freely within one batch.
+//! * [`QueryServer`] — dispatches single, batched, and mixed in-database /
+//!   out-of-sample top-k requests across a [`std::thread::scope`]-based
+//!   worker pool, reading from an epoch-versioned
+//!   [`IndexSnapshot`](mogul_core::update::IndexSnapshot).
+//! * [`QueryRequest`] / [`QueryResponse`] — the query vocabulary, mixing
+//!   both query kinds freely within one batch.
+//! * [`UpdateRequest`] / [`IndexWriter`] — the write side: updates are
+//!   applied to an [`UpdatableIndex`](mogul_core::update::UpdatableIndex)
+//!   off the query path and the resulting snapshot is swapped in atomically
+//!   ([`QueryServer::install_snapshot`]). In-flight queries finish on the
+//!   epoch they started with — **zero downtime**, no query ever waits on a
+//!   writer.
 //! * [`ServeOptions`] — worker-count configuration.
 //!
-//! Each worker owns a reusable [`OosWorkspace`](mogul_core::OosWorkspace), so
-//! after warm-up the substitution/pruning path performs zero heap
-//! allocations; workspaces are recycled across batches through an internal
+//! Each worker owns a reusable
+//! [`SnapshotWorkspace`](mogul_core::update::SnapshotWorkspace), so after
+//! warm-up the substitution/pruning path performs zero heap allocations;
+//! workspaces are recycled across batches through an internal
 //! checkout/checkin pool. Answers are **bit-identical** to the sequential
 //! [`RetrievalEngine`](mogul_core::RetrievalEngine) — concurrency changes
 //! throughput, never results.
+//!
+//! `docs/OPERATIONS.md` is the operator's guide to sizing workers and
+//! batches and to the snapshot-swap semantics; `docs/UPDATES.md` covers the
+//! update lifecycle end to end.
 
 #![deny(missing_docs)]
 
 mod request;
 mod server;
+mod updater;
 
-pub use request::{QueryRequest, QueryResponse};
+pub use request::{QueryRequest, QueryResponse, UpdateRequest};
 pub use server::{QueryServer, ServeOptions};
+pub use updater::IndexWriter;
 
 // The serving layer is sound only because every shared piece of query state
 // is immutable and thread-safe; keep that audited at compile time.
@@ -43,7 +57,11 @@ fn static_assert_shared_state_is_send_sync() {
     check::<mogul_core::MogulIndex>();
     check::<mogul_core::OutOfSampleIndex>();
     check::<mogul_core::RetrievalEngine>();
+    check::<mogul_core::update::IndexSnapshot>();
+    check::<mogul_core::update::UpdatableIndex>();
     check::<QueryServer>();
+    check::<IndexWriter>();
     check::<QueryRequest>();
     check::<QueryResponse>();
+    check::<UpdateRequest>();
 }

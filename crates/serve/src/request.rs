@@ -1,7 +1,10 @@
 //! Request/response vocabulary of the serving layer.
 //!
 //! A batch submitted to [`QueryServer::serve_batch`](crate::QueryServer::serve_batch)
-//! may mix both request kinds freely; each request carries its own `k`.
+//! may mix both query-request kinds freely; each request carries its own
+//! `k`. Mutations travel separately as [`UpdateRequest`]s through an
+//! [`IndexWriter`](crate::IndexWriter) — queries and updates never share a
+//! queue, which is what keeps the query hot path lock-free.
 
 use mogul_core::{OutOfSampleResult, TopKResult};
 
@@ -11,7 +14,8 @@ pub enum QueryRequest {
     /// Query with an item that is already part of the indexed database
     /// (Algorithm 2; the query item is excluded from the result).
     InDatabase {
-        /// Original node id of the query item.
+        /// Stable item id of the query item (equal to the original node id
+        /// for collections that were never updated).
         node: usize,
         /// Number of results requested.
         k: usize,
@@ -45,6 +49,39 @@ impl QueryRequest {
         match self {
             QueryRequest::InDatabase { k, .. } | QueryRequest::OutOfSample { k, .. } => *k,
         }
+    }
+}
+
+/// One mutation of the indexed collection, submitted to an
+/// [`IndexWriter`](crate::IndexWriter). A slice of update requests is
+/// applied as a single atomic delta: one new snapshot epoch, or (on
+/// validation failure) no change at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateRequest {
+    /// Insert a new item; its stable id is reported by the writer's
+    /// [`UpdateReport`](mogul_core::update::UpdateReport).
+    Insert {
+        /// Feature vector of the new item (must match the index dimension).
+        feature: Vec<f64>,
+    },
+    /// Remove a live item by stable id.
+    Remove {
+        /// Stable id of the item to remove.
+        id: usize,
+    },
+}
+
+impl UpdateRequest {
+    /// Convenience constructor for an insert.
+    pub fn insert(feature: impl Into<Vec<f64>>) -> Self {
+        UpdateRequest::Insert {
+            feature: feature.into(),
+        }
+    }
+
+    /// Convenience constructor for a removal.
+    pub fn remove(id: usize) -> Self {
+        UpdateRequest::Remove { id }
     }
 }
 

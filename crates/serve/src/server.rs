@@ -1,17 +1,23 @@
-//! The [`QueryServer`]: a worker pool over an `Arc`-shared immutable index.
+//! The [`QueryServer`]: a worker pool over an epoch-versioned snapshot.
 //!
-//! Concurrency model: the index is read-only after construction, so workers
-//! share it without any locking. The only mutable state is the per-worker
-//! scratch workspace; those are recycled across batches through a small
-//! checkout/checkin pool guarded by a [`Mutex`] that is touched exactly twice
-//! per worker per batch (never on the per-query hot path). Batch items are
-//! handed out through an atomic cursor, so workers self-balance: a worker
-//! that drew a cheap query immediately picks up the next one.
+//! Concurrency model: queries run against an immutable
+//! [`IndexSnapshot`](mogul_core::update::IndexSnapshot) shared behind an
+//! `Arc`, so workers never lock on the per-query hot path. The snapshot
+//! itself sits in an [`RwLock<Arc<…>>`]: readers clone the `Arc` (one
+//! uncontended read-lock + refcount bump per dispatch — no allocation),
+//! writers swap in a new `Arc` ([`QueryServer::install_snapshot`]). In-flight
+//! queries keep the `Arc` they started with, so a swap is zero-downtime:
+//! old-epoch queries drain on the old snapshot while new queries see the new
+//! one. Per-worker scratch workspaces are recycled across batches through a
+//! small checkout/checkin pool guarded by a [`Mutex`] touched exactly twice
+//! per worker per batch. Batch items are handed out through an atomic
+//! cursor, so workers self-balance.
 
 use crate::request::{QueryRequest, QueryResponse};
-use mogul_core::{OosWorkspace, OutOfSampleIndex, OutOfSampleResult, Result, RetrievalEngine};
+use mogul_core::update::{IndexSnapshot, SnapshotWorkspace};
+use mogul_core::{OutOfSampleIndex, OutOfSampleResult, Result, RetrievalEngine};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread;
 
 /// Configuration of a [`QueryServer`].
@@ -50,7 +56,7 @@ impl ServeOptions {
 /// for the server's lifetime.
 #[derive(Debug)]
 struct WorkspacePool {
-    stack: Mutex<Vec<OosWorkspace>>,
+    stack: Mutex<Vec<SnapshotWorkspace>>,
     cap: usize,
 }
 
@@ -62,7 +68,7 @@ impl WorkspacePool {
         }
     }
 
-    fn checkout(&self) -> OosWorkspace {
+    fn checkout(&self) -> SnapshotWorkspace {
         self.stack
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -70,7 +76,7 @@ impl WorkspacePool {
             .unwrap_or_default()
     }
 
-    fn checkin(&self, ws: OosWorkspace) {
+    fn checkin(&self, ws: SnapshotWorkspace) {
         let mut stack = self.stack.lock().unwrap_or_else(PoisonError::into_inner);
         if stack.len() < self.cap {
             stack.push(ws);
@@ -78,8 +84,8 @@ impl WorkspacePool {
     }
 }
 
-/// A thread-safe query server over an immutable, `Arc`-shared
-/// [`OutOfSampleIndex`].
+/// A thread-safe query server over an epoch-versioned, `Arc`-shared
+/// [`IndexSnapshot`].
 ///
 /// The server answers three request shapes — single queries
 /// ([`QueryServer::query`] and the `query_by_*` conveniences), homogeneous
@@ -89,6 +95,12 @@ impl WorkspacePool {
 /// workers that die with the call (no background threads, no channels, no
 /// extra dependencies). Answers are bit-identical to the sequential
 /// [`RetrievalEngine`] paths.
+///
+/// When the collection changes, a writer (see
+/// [`IndexWriter`](crate::IndexWriter)) produces the next snapshot off the
+/// hot path and publishes it with [`QueryServer::install_snapshot`]; each
+/// batch reads its snapshot exactly once, so every batch observes one
+/// consistent epoch.
 ///
 /// ```
 /// use mogul_core::RetrievalEngine;
@@ -111,23 +123,17 @@ impl WorkspacePool {
 /// ```
 #[derive(Debug)]
 pub struct QueryServer {
-    index: Arc<OutOfSampleIndex>,
+    state: RwLock<Arc<IndexSnapshot>>,
     workers: usize,
     pool: WorkspacePool,
 }
 
 impl QueryServer {
-    /// Build a server over an already-shared index (the `Arc` may also be
-    /// held by other servers or by non-serving code).
+    /// Build a server over an already-shared immutable index (wrapped as an
+    /// epoch-0 snapshot with identity item ids; the `Arc` may also be held
+    /// by other servers or by non-serving code).
     pub fn new(index: Arc<OutOfSampleIndex>, options: ServeOptions) -> Self {
-        let workers = options.resolve();
-        QueryServer {
-            index,
-            workers,
-            // One retained workspace per worker covers the steady state; a
-            // spike of concurrent batches allocates extras and drops them.
-            pool: WorkspacePool::with_capacity(workers),
-        }
+        QueryServer::from_snapshot(Arc::new(IndexSnapshot::wrap(index)), options)
     }
 
     /// Build a server by taking over a [`RetrievalEngine`]'s index.
@@ -135,9 +141,38 @@ impl QueryServer {
         QueryServer::new(Arc::new(engine.into_out_of_sample()), options)
     }
 
-    /// The shared index the server answers from.
-    pub fn index(&self) -> &OutOfSampleIndex {
-        &self.index
+    /// Build a server over an existing snapshot (e.g. the current epoch of
+    /// an [`UpdatableIndex`](mogul_core::update::UpdatableIndex)).
+    pub fn from_snapshot(snapshot: Arc<IndexSnapshot>, options: ServeOptions) -> Self {
+        let workers = options.resolve();
+        QueryServer {
+            state: RwLock::new(snapshot),
+            workers,
+            // One retained workspace per worker covers the steady state; a
+            // spike of concurrent batches allocates extras and drops them.
+            pool: WorkspacePool::with_capacity(workers),
+        }
+    }
+
+    /// The snapshot new queries are answered from (cheap `Arc` clone; the
+    /// returned snapshot stays valid and queryable even after later swaps).
+    pub fn snapshot(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(&self.state.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Epoch of the currently installed snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Atomically publish a new snapshot and return the previous one.
+    ///
+    /// Queries dispatched before the swap finish on the old snapshot;
+    /// queries dispatched after it see the new one. Nothing blocks: the
+    /// write lock is held only for the pointer swap.
+    pub fn install_snapshot(&self, next: Arc<IndexSnapshot>) -> Arc<IndexSnapshot> {
+        let mut slot = self.state.write().unwrap_or_else(PoisonError::into_inner);
+        std::mem::replace(&mut *slot, next)
     }
 
     /// Number of worker threads a batch dispatch may use.
@@ -145,37 +180,41 @@ impl QueryServer {
         self.workers
     }
 
-    /// Number of indexed items.
+    /// Number of live items in the current snapshot.
     pub fn len(&self) -> usize {
-        self.index.index().num_nodes()
+        self.snapshot().len()
     }
 
-    /// `true` when the server indexes zero items (never constructed so).
+    /// `true` when the current snapshot holds zero items (never constructed
+    /// so).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Answer one request of either kind on the calling thread.
     pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        let snapshot = self.snapshot();
         let mut ws = self.pool.checkout();
-        let result = self.answer(&mut ws, request);
+        let result = Self::answer(&snapshot, &mut ws, request);
         self.pool.checkin(ws);
         result
     }
 
-    /// Top-k for an item already in the database (the item itself is
-    /// excluded from the result).
-    pub fn query_by_id(&self, node: usize, k: usize) -> Result<mogul_core::TopKResult> {
+    /// Top-k for an item already in the database, by stable item id (the
+    /// item itself is excluded from the result).
+    pub fn query_by_id(&self, item: usize, k: usize) -> Result<mogul_core::TopKResult> {
+        let snapshot = self.snapshot();
         let mut ws = self.pool.checkout();
-        let result = self.index.index().search_in(ws.search_mut(), node, k);
+        let result = snapshot.query_by_id_in(&mut ws, item, k);
         self.pool.checkin(ws);
         result
     }
 
     /// Top-k for an arbitrary feature vector (out-of-sample query).
     pub fn query_by_feature(&self, feature: &[f64], k: usize) -> Result<OutOfSampleResult> {
+        let snapshot = self.snapshot();
         let mut ws = self.pool.checkout();
-        let result = self.index.query_in(&mut ws, feature, k);
+        let result = snapshot.query_by_feature_in(&mut ws, feature, k);
         self.pool.checkin(ws);
         result
     }
@@ -184,15 +223,21 @@ impl QueryServer {
     /// `answers[i]` belongs to `requests[i]`. Failures are per-request — one
     /// invalid request never poisons the rest of the batch.
     ///
-    /// The batch is spread over `min(workers, requests.len())` scoped worker
-    /// threads; a single-worker server (or a one-element batch) runs inline
-    /// with no thread spawned at all. `serve_batch` takes `&self`, so any
-    /// number of batches may be in flight concurrently on one server.
+    /// The snapshot is read once per batch, so all answers of one batch come
+    /// from one epoch even if a writer swaps mid-batch. The batch is spread
+    /// over `min(workers, requests.len())` scoped worker threads; a
+    /// single-worker server (or a one-element batch) runs inline with no
+    /// thread spawned at all. `serve_batch` takes `&self`, so any number of
+    /// batches may be in flight concurrently on one server.
     pub fn serve_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        let snapshot = self.snapshot();
         let workers = self.workers.min(requests.len()).max(1);
         if workers == 1 {
             let mut ws = self.pool.checkout();
-            let answers = requests.iter().map(|r| self.answer(&mut ws, r)).collect();
+            let answers = requests
+                .iter()
+                .map(|r| Self::answer(&snapshot, &mut ws, r))
+                .collect();
             self.pool.checkin(ws);
             return answers;
         }
@@ -201,6 +246,7 @@ impl QueryServer {
         // workers buffer `(index, answer)` pairs locally and the results are
         // stitched back into request order afterwards.
         let next = AtomicUsize::new(0);
+        let snapshot = &snapshot;
         let per_worker: Vec<Vec<(usize, Result<QueryResponse>)>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -212,7 +258,7 @@ impl QueryServer {
                             if i >= requests.len() {
                                 break;
                             }
-                            local.push((i, self.answer(&mut ws, &requests[i])));
+                            local.push((i, Self::answer(snapshot, &mut ws, &requests[i])));
                         }
                         self.pool.checkin(ws);
                         local
@@ -236,14 +282,18 @@ impl QueryServer {
             .collect()
     }
 
-    /// Dispatch one request onto the right index entry point.
-    fn answer(&self, ws: &mut OosWorkspace, request: &QueryRequest) -> Result<QueryResponse> {
+    /// Dispatch one request onto the right snapshot entry point.
+    fn answer(
+        snapshot: &IndexSnapshot,
+        ws: &mut SnapshotWorkspace,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse> {
         match request {
             QueryRequest::InDatabase { node, k } => Ok(QueryResponse::InDatabase(
-                self.index.index().search_in(ws.search_mut(), *node, *k)?,
+                snapshot.query_by_id_in(ws, *node, *k)?,
             )),
             QueryRequest::OutOfSample { feature, k } => Ok(QueryResponse::OutOfSample(Box::new(
-                self.index.query_in(ws, feature, *k)?,
+                snapshot.query_by_feature_in(ws, feature, *k)?,
             ))),
         }
     }

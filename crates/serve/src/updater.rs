@@ -1,0 +1,120 @@
+//! Read/write coordination: the [`IndexWriter`] mutates an
+//! [`UpdatableIndex`] and publishes each resulting snapshot to a
+//! [`QueryServer`].
+//!
+//! The split of responsibilities is deliberately strict:
+//!
+//! * **Readers** (query threads) only ever touch the server's current
+//!   [`IndexSnapshot`](mogul_core::update::IndexSnapshot) — immutable, so no
+//!   read locks on the per-query hot path.
+//! * **The writer** owns the mutable [`UpdatableIndex`] behind a [`Mutex`]:
+//!   updates serialize against each other but never against queries. Delta
+//!   application (and, when the rebuild-debt policy fires, the full
+//!   refactorization) runs entirely off the query path; queries keep
+//!   hitting the previous epoch until [`QueryServer::install_snapshot`]
+//!   swaps in the new one.
+//!
+//! Any thread may call [`IndexWriter::apply`] — a maintenance thread, a cron
+//! loop, or an ingest pipeline — which is what "background refactorization"
+//! means here: it is background *relative to queries*, not a thread this
+//! crate spawns.
+
+use crate::request::UpdateRequest;
+use crate::server::{QueryServer, ServeOptions};
+use mogul_core::update::{IndexDelta, RebuildDebt, UpdatableIndex, UpdateReport};
+use mogul_core::Result;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The single-writer handle pairing an [`UpdatableIndex`] with the
+/// [`QueryServer`] that serves its snapshots.
+///
+/// ```
+/// use mogul_core::update::IndexBuilder;
+/// use mogul_serve::{IndexWriter, ServeOptions, UpdateRequest};
+///
+/// let features: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 0.0]).collect();
+/// let index = IndexBuilder::new().knn_k(3).build(features)?;
+/// let (server, writer) = IndexWriter::new(index, ServeOptions::with_workers(2));
+///
+/// // Queries and updates may now run from different threads; each update
+/// // publishes a new epoch without interrupting in-flight queries.
+/// let report = writer.apply(&[UpdateRequest::insert(vec![2.5, 0.0])])?;
+/// assert_eq!(server.epoch(), report.epoch);
+/// let top = server.query_by_id(report.inserted[0], 3)?;
+/// assert_eq!(top.len(), 3);
+/// # Ok::<(), mogul_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct IndexWriter {
+    server: Arc<QueryServer>,
+    inner: Mutex<UpdatableIndex>,
+}
+
+impl IndexWriter {
+    /// Take ownership of an updatable index and stand up a server on its
+    /// current snapshot.
+    pub fn new(index: UpdatableIndex, options: ServeOptions) -> (Arc<QueryServer>, IndexWriter) {
+        let server = Arc::new(QueryServer::from_snapshot(index.snapshot(), options));
+        let writer = IndexWriter {
+            server: Arc::clone(&server),
+            inner: Mutex::new(index),
+        };
+        (server, writer)
+    }
+
+    /// The server this writer publishes to.
+    pub fn server(&self) -> Arc<QueryServer> {
+        Arc::clone(&self.server)
+    }
+
+    /// Apply a batch of update requests as one atomic delta and publish the
+    /// resulting snapshot epoch. Insert ids are reported in request order.
+    pub fn apply(&self, updates: &[UpdateRequest]) -> Result<UpdateReport> {
+        let mut delta = IndexDelta::new();
+        for update in updates {
+            match update {
+                UpdateRequest::Insert { feature } => {
+                    delta.insert(feature.clone());
+                }
+                UpdateRequest::Remove { id } => {
+                    delta.remove(*id);
+                }
+            }
+        }
+        self.apply_delta(&delta)
+    }
+
+    /// Apply an already-staged [`IndexDelta`] and publish the resulting
+    /// snapshot epoch.
+    pub fn apply_delta(&self, delta: &IndexDelta) -> Result<UpdateReport> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let report = inner.apply(delta)?;
+        self.server.install_snapshot(inner.snapshot());
+        Ok(report)
+    }
+
+    /// Force a full refactorization now (debt back to zero) and publish it.
+    /// Queries keep answering from the previous epoch while this runs.
+    pub fn rebuild(&self) -> Result<UpdateReport> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let report = inner.rebuild()?;
+        self.server.install_snapshot(inner.snapshot());
+        Ok(report)
+    }
+
+    /// Current rebuild debt of the writer state.
+    pub fn debt(&self) -> RebuildDebt {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .debt()
+    }
+
+    /// `true` when the next apply would trigger a full refactorization.
+    pub fn needs_rebuild(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .needs_rebuild()
+    }
+}

@@ -406,6 +406,16 @@ impl LuDecomposition {
 
     /// Solve `A x = b` for the factorized matrix.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`LuDecomposition::solve`] writing into a caller-owned buffer, so
+    /// repeated solves against one factorization (the capacitance systems of
+    /// [`crate::woodbury::WoodburyCorrection`]) allocate nothing once the
+    /// buffer has grown to the system size.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
         let n = self.lu.nrows;
         if b.len() != n {
             return Err(SparseError::DimensionMismatch {
@@ -415,7 +425,8 @@ impl LuDecomposition {
             });
         }
         // Apply the row permutation, then forward- and back-substitute.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         for i in 1..n {
             let mut sum = x[i];
             for j in 0..i {
@@ -430,7 +441,7 @@ impl LuDecomposition {
             }
             x[i] = sum / self.lu.get(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant of the factorized matrix.

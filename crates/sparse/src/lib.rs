@@ -20,7 +20,9 @@
 //!   sparse `L D Lᵀ` factorization with fill-in, used by MogulE (Section 4.6.1).
 //! * [`eigen`] / [`lowrank`] — Lanczos and Jacobi eigensolvers plus truncated
 //!   low-rank approximation, used by the FMR baseline and spectral clustering.
-//! * [`woodbury`] — the Woodbury-identity solve used by the EMR baseline.
+//! * [`woodbury`] — Woodbury-identity solves: the anchor-graph form used by
+//!   the EMR baseline, and the general [`WoodburyCorrection`] low-rank update
+//!   kernel used by incremental index updates (`mogul-core::update`).
 //! * [`dense`] — dense matrices with LU decomposition and inversion, used by
 //!   the `O(n³)` Inverse baseline and for verification in tests.
 //!
@@ -53,3 +55,4 @@ pub use ichol::{incomplete_ldl, LdlFactors};
 pub use ldl::{complete_ldl, CompleteLdl};
 pub use permutation::Permutation;
 pub use triangular::SolveWorkspace;
+pub use woodbury::{CorrectionWorkspace, WoodburyCorrection};

@@ -1,17 +1,36 @@
-//! Woodbury-identity solves for low-rank-plus-identity systems.
+//! Woodbury-identity solves for low-rank-corrected systems.
 //!
-//! The **EMR** baseline (Xu et al. \[21\] in the paper) approximates the
-//! normalized adjacency with an anchor-graph factorization `S ≈ H Hᵀ` where
-//! `H` is `n × d` and `d ≪ n`. Ranking scores are then obtained from
+//! Two users share this module:
 //!
-//! ```text
-//! (I − α H Hᵀ)⁻¹ q = q + α H (I_d − α Hᵀ H)⁻¹ Hᵀ q
-//! ```
+//! 1. The **EMR** baseline (Xu et al. \[21\] in the paper) approximates the
+//!    normalized adjacency with an anchor-graph factorization `S ≈ H Hᵀ`
+//!    where `H` is `n × d` and `d ≪ n`. Ranking scores are then obtained from
 //!
-//! which costs `O(n d + d³)` — the complexity quoted for EMR in Section 2.
+//!    ```text
+//!    (I − α H Hᵀ)⁻¹ q = q + α H (I_d − α Hᵀ H)⁻¹ Hᵀ q
+//!    ```
+//!
+//!    which costs `O(n d + d³)` — the complexity quoted for EMR in Section 2
+//!    ([`woodbury_solve_csr`] / [`woodbury_solve_dense`]).
+//!
+//! 2. The **incremental index update** machinery (`mogul-core::update`): when
+//!    database items are inserted or removed, the new ranking system matrix
+//!    is the old one plus a low-rank symmetric correction, `W = W₀ + U Vᵀ`,
+//!    and queries are answered against the *existing* factorization of `W₀`
+//!    through the general Woodbury identity
+//!
+//!    ```text
+//!    (W₀ + U Vᵀ)⁻¹ b = x₀ − Z (I_r + Vᵀ Z)⁻¹ Vᵀ x₀,
+//!        where x₀ = W₀⁻¹ b and Z = W₀⁻¹ U.
+//!    ```
+//!
+//!    [`WoodburyCorrection`] precomputes `Z` and LU-factorizes the `r × r`
+//!    capacitance matrix `I_r + Vᵀ Z` once per update batch, so correcting
+//!    one solved query costs `O(n r + r²)` and allocates nothing when driven
+//!    through a reusable [`CorrectionWorkspace`].
 
 use crate::csr::CsrMatrix;
-use crate::dense::DenseMatrix;
+use crate::dense::{DenseMatrix, LuDecomposition};
 use crate::error::{Result, SparseError};
 
 /// Solve `(I − α H Hᵀ) x = q` for a sparse `n × d` factor `H`.
@@ -76,6 +95,196 @@ pub fn woodbury_solve_dense(h: &DenseMatrix, alpha: f64, q: &[f64]) -> Result<Ve
         *xi += alpha * hzi;
     }
     Ok(x)
+}
+
+/// Reusable scratch for [`WoodburyCorrection::apply_in`].
+///
+/// Holds the two rank-sized vectors one correction touches (`t = Vᵀ x₀` and
+/// the capacitance solution). Like every workspace in this crate it carries
+/// no correction state: any workspace works with any correction, and a fresh
+/// workspace produces bit-identical results to a warm one.
+#[derive(Debug, Clone, Default)]
+pub struct CorrectionWorkspace {
+    /// `t = Vᵀ x₀` (length = rank).
+    t: Vec<f64>,
+    /// Capacitance solution `y = (I + Vᵀ Z)⁻¹ t` (length = rank).
+    y: Vec<f64>,
+}
+
+impl CorrectionWorkspace {
+    /// An empty workspace; the two rank-sized buffers grow on first use.
+    pub fn new() -> Self {
+        CorrectionWorkspace::default()
+    }
+}
+
+/// A precomputed low-rank correction turning solves against a base matrix
+/// `W₀` into solves against `W = W₀ + U Vᵀ`.
+///
+/// `U` and `V` are supplied as sparse columns (`(row, value)` pairs); the
+/// base matrix itself is abstracted behind a solver callback, so any
+/// factorization (the incomplete or complete `L D Lᵀ` of a
+/// [`crate::ichol::LdlFactors`], a dense LU, …) can serve as `W₀⁻¹`.
+/// Construction performs `r` base solves to form `Z = W₀⁻¹ U` and one dense
+/// LU factorization of the `r × r` capacitance matrix `I_r + Vᵀ Z`;
+/// afterwards [`WoodburyCorrection::apply_in`] upgrades a base solution
+/// `x₀ = W₀⁻¹ b` to the corrected solution `(W₀ + U Vᵀ)⁻¹ b` in
+/// `O(n r + r²)` time with zero allocations (warm workspace).
+#[derive(Debug, Clone)]
+pub struct WoodburyCorrection {
+    dim: usize,
+    /// Sparse columns of `V` (validated, in-range).
+    v_cols: Vec<Vec<(usize, f64)>>,
+    /// `Z = W₀⁻¹ U`, one dense column per correction direction (`dim × r`).
+    z: DenseMatrix,
+    /// LU factors of the capacitance matrix `I_r + Vᵀ Z`.
+    cap: LuDecomposition,
+}
+
+impl WoodburyCorrection {
+    /// Precompute the correction for `W = W₀ + U Vᵀ`.
+    ///
+    /// `u_cols` and `v_cols` hold the `r` sparse columns of `U` and `V`;
+    /// `base_solve(rhs, out)` must write `W₀⁻¹ rhs` into `out`. Fails if the
+    /// capacitance matrix is singular (i.e. the corrected matrix is), if any
+    /// index is out of range, or if any value is non-finite.
+    pub fn new(
+        dim: usize,
+        u_cols: &[Vec<(usize, f64)>],
+        v_cols: Vec<Vec<(usize, f64)>>,
+        mut base_solve: impl FnMut(&[f64], &mut Vec<f64>) -> Result<()>,
+    ) -> Result<Self> {
+        if u_cols.len() != v_cols.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "woodbury correction factors",
+                left: (dim, u_cols.len()),
+                right: (dim, v_cols.len()),
+            });
+        }
+        let r = u_cols.len();
+        for col in u_cols.iter().chain(v_cols.iter()) {
+            for &(row, value) in col {
+                if row >= dim {
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: (row, 0),
+                        shape: (dim, r),
+                    });
+                }
+                if !value.is_finite() {
+                    return Err(SparseError::InvalidInput(format!(
+                        "correction factor entry at row {row} is not finite"
+                    )));
+                }
+            }
+        }
+
+        // Z = W₀⁻¹ U, one base solve per correction direction.
+        let mut z = DenseMatrix::zeros(dim, r);
+        let mut rhs = vec![0.0; dim];
+        let mut solved = Vec::new();
+        for (j, col) in u_cols.iter().enumerate() {
+            for &(row, value) in col {
+                rhs[row] += value;
+            }
+            base_solve(&rhs, &mut solved)?;
+            if solved.len() != dim {
+                return Err(SparseError::DimensionMismatch {
+                    op: "woodbury base solve",
+                    left: (dim, 1),
+                    right: (solved.len(), 1),
+                });
+            }
+            for (i, &value) in solved.iter().enumerate() {
+                z.set(i, j, value);
+            }
+            for &(row, _) in col {
+                rhs[row] = 0.0;
+            }
+        }
+
+        // Capacitance matrix I_r + Vᵀ Z, LU-factorized once.
+        let mut cap = DenseMatrix::identity(r);
+        for (i, col) in v_cols.iter().enumerate() {
+            for j in 0..r {
+                let dot: f64 = col.iter().map(|&(row, value)| value * z.get(row, j)).sum();
+                cap.add_to(i, j, dot);
+            }
+        }
+        let cap = cap.lu()?;
+
+        Ok(WoodburyCorrection {
+            dim,
+            v_cols,
+            z,
+            cap,
+        })
+    }
+
+    /// Rank `r` of the correction (number of `U`/`V` columns).
+    pub fn rank(&self) -> usize {
+        self.v_cols.len()
+    }
+
+    /// Dimension `n` of the corrected system.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Estimated memory footprint in bytes (dominated by the `n × r` dense
+    /// block `Z` — this is what the rebuild-debt policy upstream bounds).
+    pub fn memory_bytes(&self) -> usize {
+        let val = std::mem::size_of::<f64>();
+        let idx = std::mem::size_of::<usize>();
+        let r = self.rank();
+        let v_nnz: usize = self.v_cols.iter().map(Vec::len).sum();
+        self.dim * r * val            // Z
+            + 2 * r * r * val         // capacitance LU (factors + permutation rounding up)
+            + v_nnz * (idx + val) // sparse V
+    }
+
+    /// Upgrade a base solution in place: on entry `x = W₀⁻¹ b`, on exit
+    /// `x = (W₀ + U Vᵀ)⁻¹ b`.
+    ///
+    /// Costs `O(nnz(V) + r² + n r)` and performs no heap allocation once the
+    /// workspace buffers have grown to the correction rank.
+    pub fn apply_in(&self, ws: &mut CorrectionWorkspace, x: &mut [f64]) -> Result<()> {
+        if x.len() != self.dim {
+            return Err(SparseError::DimensionMismatch {
+                op: "woodbury correction apply",
+                left: (self.dim, 1),
+                right: (x.len(), 1),
+            });
+        }
+        let r = self.rank();
+        if r == 0 {
+            return Ok(());
+        }
+        // t = Vᵀ x₀ (sparse dot products).
+        ws.t.clear();
+        ws.t.extend(
+            self.v_cols
+                .iter()
+                .map(|col| col.iter().map(|&(row, value)| value * x[row]).sum::<f64>()),
+        );
+        // y = (I + Vᵀ Z)⁻¹ t.
+        self.cap.solve_into(&ws.t, &mut ws.y)?;
+        // x ← x₀ − Z y, streaming over the row-major dense block.
+        for (i, xi) in x.iter_mut().enumerate() {
+            let row = self.z.row(i);
+            let mut correction = 0.0;
+            for (zij, yj) in row.iter().zip(ws.y.iter()) {
+                correction += zij * yj;
+            }
+            *xi -= correction;
+        }
+        Ok(())
+    }
+
+    /// [`WoodburyCorrection::apply_in`] with fresh scratch (convenience for
+    /// one-off use; loops should reuse a [`CorrectionWorkspace`]).
+    pub fn apply(&self, x: &mut [f64]) -> Result<()> {
+        self.apply_in(&mut CorrectionWorkspace::new(), x)
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +356,182 @@ mod tests {
         let q = vec![1.0, -1.0, 2.0, 0.5];
         let x = woodbury_solve_dense(&h, 0.7, &q).unwrap();
         assert!(max_abs_diff(&x, &q).unwrap() < 1e-14);
+    }
+
+    // ------------------------------------------------------------------
+    // WoodburyCorrection
+    // ------------------------------------------------------------------
+
+    /// A small SPD base matrix (diagonally dominant).
+    fn base_matrix() -> DenseMatrix {
+        let n = 6;
+        let mut w = DenseMatrix::identity(n);
+        for i in 0..n {
+            w.set(i, i, 2.0 + 0.1 * i as f64);
+            if i + 1 < n {
+                w.set(i, i + 1, -0.4);
+                w.set(i + 1, i, -0.4);
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn corrected_solve_matches_direct_dense_solve() {
+        let w0 = base_matrix();
+        let n = w0.nrows();
+        // Rank-3 unstructured correction U Vᵀ.
+        let u_cols = vec![
+            vec![(0usize, 0.3), (4usize, -0.2)],
+            vec![(2usize, 0.5)],
+            vec![(1usize, -0.1), (3usize, 0.2), (5usize, 0.4)],
+        ];
+        let v_cols = vec![
+            vec![(1usize, 0.2), (5usize, 0.3)],
+            vec![(2usize, -0.4), (0usize, 0.1)],
+            vec![(4usize, 0.25)],
+        ];
+        let correction = WoodburyCorrection::new(n, &u_cols, v_cols.clone(), |b, out| {
+            *out = w0.solve(b)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(correction.rank(), 3);
+        assert_eq!(correction.dim(), n);
+        assert!(correction.memory_bytes() > 0);
+
+        // Direct reference: assemble W = W₀ + U Vᵀ densely and solve.
+        let mut w = w0.clone();
+        for (uc, vc) in u_cols.iter().zip(v_cols.iter()) {
+            for &(i, uv) in uc {
+                for &(j, vv) in vc {
+                    w.add_to(i, j, uv * vv);
+                }
+            }
+        }
+        let b = vec![1.0, -0.5, 0.0, 2.0, 0.25, -1.0];
+        let mut x = w0.solve(&b).unwrap();
+        correction.apply(&mut x).unwrap();
+        let x_ref = w.solve(&b).unwrap();
+        assert!(max_abs_diff(&x, &x_ref).unwrap() < 1e-10);
+
+        // Workspace reuse is bit-identical to fresh scratch.
+        let mut ws = CorrectionWorkspace::new();
+        for rhs in [&b, &vec![0.0, 1.0, 0.0, 0.0, -2.0, 0.5]] {
+            let mut fresh = w0.solve(rhs).unwrap();
+            let mut reused = fresh.clone();
+            correction.apply(&mut fresh).unwrap();
+            correction.apply_in(&mut ws, &mut reused).unwrap();
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn symmetric_row_column_update_decomposition() {
+        // The shape mogul-core::update feeds in: a symmetric Δ supported on
+        // rows/columns R, decomposed as Δ = E_R A_R + B E_Rᵀ with
+        // U = [E_R | B], V = [A_Rᵀ | E_R].
+        let w0 = base_matrix();
+        let n = w0.nrows();
+        let r_set = [1usize, 4];
+        // Symmetric Δ touching rows/cols 1 and 4 (including entries to
+        // columns outside R).
+        let mut delta = DenseMatrix::zeros(n, n);
+        for &(i, j, v) in &[
+            (1usize, 0usize, 0.15),
+            (1, 3, -0.2),
+            (1, 4, 0.1),
+            (4, 5, 0.05),
+            (1, 1, 0.3),
+            (4, 4, -0.1),
+        ] {
+            delta.add_to(i, j, v);
+            if i != j {
+                delta.add_to(j, i, v);
+            }
+        }
+        // A_R = rows R of Δ; B = columns R of the remainder.
+        let mut u_cols = Vec::new();
+        let mut v_cols = Vec::new();
+        for &row in &r_set {
+            u_cols.push(vec![(row, 1.0)]);
+            let a_row: Vec<(usize, f64)> = (0..n)
+                .filter(|&j| delta.get(row, j) != 0.0)
+                .map(|j| (j, delta.get(row, j)))
+                .collect();
+            v_cols.push(a_row);
+        }
+        for &col in &r_set {
+            let b_col: Vec<(usize, f64)> = (0..n)
+                .filter(|&i| !r_set.contains(&i) && delta.get(i, col) != 0.0)
+                .map(|i| (i, delta.get(i, col)))
+                .collect();
+            u_cols.push(b_col);
+            v_cols.push(vec![(col, 1.0)]);
+        }
+        let correction = WoodburyCorrection::new(n, &u_cols, v_cols, |b, out| {
+            *out = w0.solve(b)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(correction.rank(), 2 * r_set.len());
+
+        let w = w0.add(&delta).unwrap();
+        let b = vec![0.5, 1.0, -1.0, 0.0, 2.0, 0.1];
+        let mut x = w0.solve(&b).unwrap();
+        correction.apply(&mut x).unwrap();
+        let x_ref = w.solve(&b).unwrap();
+        assert!(max_abs_diff(&x, &x_ref).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn zero_rank_correction_is_identity() {
+        let w0 = base_matrix();
+        let correction = WoodburyCorrection::new(6, &[], Vec::new(), |b, out| {
+            *out = w0.solve(b)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(correction.rank(), 0);
+        let mut x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let before = x.clone();
+        correction.apply(&mut x).unwrap();
+        assert_eq!(x, before);
+    }
+
+    #[test]
+    fn correction_validation() {
+        let w0 = base_matrix();
+        let solve = |b: &[f64], out: &mut Vec<f64>| {
+            *out = w0.solve(b)?;
+            Ok(())
+        };
+        // Mismatched column counts.
+        assert!(WoodburyCorrection::new(6, &[vec![(0, 1.0)]], Vec::new(), solve).is_err());
+        // Out-of-range row index.
+        assert!(
+            WoodburyCorrection::new(6, &[vec![(9, 1.0)]], vec![vec![(0, 1.0)]], solve).is_err()
+        );
+        // Non-finite value.
+        assert!(
+            WoodburyCorrection::new(6, &[vec![(0, f64::NAN)]], vec![vec![(0, 1.0)]], solve)
+                .is_err()
+        );
+        // Singular corrected matrix: U Vᵀ = −W₀ on a 1-dim system.
+        let singular = WoodburyCorrection::new(
+            1,
+            &[vec![(0, -1.0)]],
+            vec![vec![(0, 1.0)]],
+            |b: &[f64], out: &mut Vec<f64>| {
+                out.clear();
+                out.push(b[0]);
+                Ok(())
+            },
+        );
+        assert!(singular.is_err());
+        // Wrong-length vector at apply time.
+        let ok =
+            WoodburyCorrection::new(6, &[vec![(0, 0.1)]], vec![vec![(0, 0.1)]], solve).unwrap();
+        assert!(ok.apply(&mut [1.0, 2.0]).is_err());
     }
 }

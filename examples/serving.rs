@@ -2,8 +2,14 @@
 //! mixed in-database / out-of-sample workload across a worker pool, with
 //! measured queries/sec as the worker count grows.
 //!
+//! The swept worker counts are derived from the host's
+//! `available_parallelism`, so the example demonstrates real scaling on
+//! multi-core machines instead of a hardcoded ladder; pass a number to pin
+//! the maximum worker count instead:
+//!
 //! ```text
-//! cargo run --example serving --release
+//! cargo run --example serving --release          # sweep 1 ..= 2·cores
+//! cargo run --example serving --release -- 4     # sweep 1 ..= 4 workers
 //! ```
 
 use mogul_suite::core::RetrievalEngine;
@@ -11,6 +17,32 @@ use mogul_suite::data::sift::{sift_like, SiftLikeConfig};
 use mogul_suite::serve::{QueryRequest, QueryServer, ServeOptions};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Worker counts to sweep: powers of two from 1 up to twice the host's
+/// available parallelism (or up to the CLI override), so the point of
+/// diminishing returns is always visible in the output.
+fn worker_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let max = match std::env::args().nth(1) {
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| {
+                eprintln!("ignoring invalid worker count {raw:?}; using auto-detection");
+                2 * cores
+            }),
+        None => 2 * cores,
+    };
+    let mut counts = Vec::new();
+    let mut w = 1usize;
+    while w < max {
+        counts.push(w);
+        w *= 2;
+    }
+    counts.push(max);
+    counts
+}
 
 fn main() {
     // A SIFT-like descriptor collection, split into a database and a set of
@@ -48,7 +80,9 @@ fn main() {
     let index = Arc::new(engine.into_out_of_sample());
     let rounds = 5usize;
     let mut baseline = None;
-    for workers in [1usize, 2, 4, 8] {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("host parallelism: {cores} (see docs/OPERATIONS.md for sizing guidance)");
+    for workers in worker_counts() {
         let server = QueryServer::new(Arc::clone(&index), ServeOptions::with_workers(workers));
         server.serve_batch(&batch); // warm the workspace pool
         let start = Instant::now();
