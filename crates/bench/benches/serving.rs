@@ -90,6 +90,28 @@ fn bench_serving(c: &mut Criterion) {
             |b, _| b.iter(|| server.serve_batch(slice)),
         );
     }
+
+    // Panel vs scalar dispatch on one core over homogeneous in-database
+    // batches — the acceptance metric of the batched query engine. The
+    // human-readable throughput table lives in `examples/serving.rs`, the
+    // machine-readable trajectory in BENCH_query.json (perf_baseline bin).
+    let n = index.index().num_nodes();
+    let homogeneous: Vec<QueryRequest> = (0..32)
+        .map(|i| QueryRequest::in_database((i * 131) % n, 10))
+        .collect();
+    for (label, options) in [
+        (
+            "dispatch_scalar_b32",
+            ServeOptions::with_workers(1).scalar_dispatch(),
+        ),
+        ("dispatch_panel_b32", ServeOptions::with_workers(1)),
+    ] {
+        let server = QueryServer::new(Arc::clone(&index), options);
+        server.serve_batch(&homogeneous);
+        group.bench_with_input(BenchmarkId::new(label, 32), &32usize, |b, _| {
+            b.iter(|| server.serve_batch(&homogeneous))
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,503 @@
+//! Machine-readable performance baseline: run the search / serving / update
+//! hot paths at fixed sizes and write `BENCH_query.json` at the repository
+//! root, so the perf trajectory is trackable across commits.
+//!
+//! ```text
+//! cargo run --release -p mogul-bench --bin perf_baseline            # full run, writes BENCH_query.json
+//! cargo run --release -p mogul-bench --bin perf_baseline -- --smoke # tiny sizes, writes target/BENCH_query.smoke.json
+//! ```
+//!
+//! Schema (one trajectory point per run):
+//!
+//! ```json
+//! {
+//!   "git_rev": "<short rev or \"unknown\">",
+//!   "date": "YYYY-MM-DD",
+//!   "smoke": false,
+//!   "scenarios": { "<name>": { "p50_us": 1.0, "p95_us": 2.0, "qps": 3.0 } }
+//! }
+//! ```
+//!
+//! `p50_us`/`p95_us` are per-*iteration* latencies — one query for the
+//! scalar scenarios, one whole batch for the `*_batch*` / `serve_*`
+//! scenarios — while `qps` is always queries (not batches) per second, so
+//! the scalar and batched rows of one hot path are directly comparable.
+//!
+//! Asserted invariants (the acceptance gate of the batched query engine):
+//!
+//! * full run — the panel serving path is at least **2×** the scalar
+//!   serving path in single-core queries/sec at batch size 32;
+//! * smoke run — batched throughput is at least scalar throughput, and the
+//!   emitted JSON round-trips through a validator.
+//!
+//! See `docs/PERFORMANCE.md` for how to read and refresh the file.
+
+use mogul_core::update::{IndexBuilder, IndexDelta, RebuildPolicy};
+use mogul_core::{
+    BatchWorkspace, MogulConfig, MogulIndex, OosWorkspace, OutOfSampleConfig, OutOfSampleIndex,
+    SearchMode, SearchWorkspace,
+};
+use mogul_data::web::{web_like, WebLikeConfig};
+use mogul_graph::knn::{knn_graph, KnnConfig};
+use mogul_serve::{QueryRequest, QueryServer, ServeOptions};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Batch size of the batched scenarios (the acceptance gate measures ≥ 32).
+const BATCH: usize = 32;
+
+struct ScenarioResult {
+    name: &'static str,
+    /// Per-iteration latencies in seconds.
+    latencies: Vec<f64>,
+    /// Queries answered per iteration.
+    queries_per_iter: usize,
+}
+
+impl ScenarioResult {
+    fn p50_us(&self) -> f64 {
+        percentile_us(&self.latencies, 0.50)
+    }
+    fn p95_us(&self) -> f64 {
+        percentile_us(&self.latencies, 0.95)
+    }
+    fn qps(&self) -> f64 {
+        let total: f64 = self.latencies.iter().sum();
+        (self.latencies.len() * self.queries_per_iter) as f64 / total.max(1e-12)
+    }
+}
+
+fn percentile_us(latencies: &[f64], q: f64) -> f64 {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx] * 1e6
+}
+
+/// Time `rounds` repetitions of `iter`, recording one latency per call.
+fn time_rounds(
+    rounds: usize,
+    queries_per_iter: usize,
+    mut iter: impl FnMut(),
+) -> (Vec<f64>, usize) {
+    let mut latencies = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        iter();
+        latencies.push(start.elapsed().as_secs_f64());
+    }
+    (latencies, queries_per_iter)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Fixed sizes: large enough that the full run reflects serving reality,
+    // small enough that the smoke run finishes in CI seconds.
+    let (n, dim, topics, rounds) = if smoke {
+        (2_000usize, 16usize, 20usize, 8usize)
+    } else {
+        (12_000, 32, 60, 40)
+    };
+
+    eprintln!("perf_baseline: building the {n}-item scenario (smoke = {smoke}) ...");
+    let dataset = web_like(&WebLikeConfig {
+        num_points: n,
+        num_topics: topics,
+        dim,
+        background_fraction: 0.2,
+        ..Default::default()
+    })
+    .expect("generate dataset");
+    let graph = knn_graph(dataset.features(), KnnConfig::with_k(10)).expect("knn graph");
+    let index = MogulIndex::build(&graph, MogulConfig::default()).expect("build index");
+    let oos = Arc::new(
+        OutOfSampleIndex::new(
+            index,
+            dataset.features().to_vec(),
+            OutOfSampleConfig::default(),
+        )
+        .expect("attach features"),
+    );
+    let index = oos.index();
+    let nodes = index.num_nodes();
+
+    // Deterministic workloads: in-database ids spread over the collection,
+    // out-of-sample probes derived from perturbed database vectors.
+    let queries: Vec<usize> = (0..256).map(|i| (i * 131) % nodes).collect();
+    let probes: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            let mut f = dataset.features()[(i * 97) % nodes].clone();
+            for (d, v) in f.iter_mut().enumerate() {
+                *v += 0.01 * ((i + d) % 5) as f64;
+            }
+            f
+        })
+        .collect();
+    let probe_refs: Vec<&[f64]> = probes.iter().map(|f| f.as_slice()).collect();
+
+    let mut results: Vec<ScenarioResult> = Vec::new();
+
+    // -- core search: scalar vs panel -------------------------------------
+    let mut search_ws = SearchWorkspace::new();
+    let mut batch_ws = BatchWorkspace::new();
+    for &q in &queries[..BATCH] {
+        index.search_in(&mut search_ws, q, 10).expect("warm scalar");
+    }
+    index
+        .search_batch_in(&mut batch_ws, &queries[..BATCH], 10, SearchMode::Pruned)
+        .expect("warm batch");
+    {
+        let mut latencies = Vec::new();
+        for _ in 0..rounds {
+            for &q in &queries {
+                let start = Instant::now();
+                index.search_in(&mut search_ws, q, 10).expect("search");
+                latencies.push(start.elapsed().as_secs_f64());
+            }
+        }
+        results.push(ScenarioResult {
+            name: "search_scalar",
+            latencies,
+            queries_per_iter: 1,
+        });
+    }
+    {
+        let mut latencies = Vec::new();
+        for _ in 0..rounds {
+            for chunk in queries.chunks(BATCH) {
+                let start = Instant::now();
+                index
+                    .search_batch_in(&mut batch_ws, chunk, 10, SearchMode::Pruned)
+                    .expect("batch search");
+                latencies.push(start.elapsed().as_secs_f64());
+            }
+        }
+        results.push(ScenarioResult {
+            name: "search_batch32",
+            latencies,
+            queries_per_iter: BATCH,
+        });
+    }
+
+    // -- out-of-sample: scalar vs panel ------------------------------------
+    let mut oos_ws = OosWorkspace::new();
+    {
+        let mut latencies = Vec::new();
+        for _ in 0..rounds {
+            for feature in &probe_refs {
+                let start = Instant::now();
+                oos.query_in(&mut oos_ws, feature, 10).expect("oos query");
+                latencies.push(start.elapsed().as_secs_f64());
+            }
+        }
+        results.push(ScenarioResult {
+            name: "oos_scalar",
+            latencies,
+            queries_per_iter: 1,
+        });
+    }
+    {
+        let mut latencies = Vec::new();
+        for _ in 0..rounds {
+            for chunk in probe_refs.chunks(BATCH) {
+                let start = Instant::now();
+                oos.query_batch_in(&mut batch_ws, chunk, 10)
+                    .expect("oos batch");
+                latencies.push(start.elapsed().as_secs_f64());
+            }
+        }
+        results.push(ScenarioResult {
+            name: "oos_batch32",
+            latencies,
+            queries_per_iter: BATCH,
+        });
+    }
+
+    // -- serving: scalar dispatch vs panel dispatch, one worker ------------
+    // The asserted workload is a batch of 32 in-database requests (the
+    // traffic shape the panel engine targets: one kind, one k, full-width
+    // panels); a mixed half-in-database / half-out-of-sample batch is
+    // measured alongside — its out-of-sample halves spend much of their
+    // time in the per-query phase-1 feature scan, which batching cannot
+    // share, so its speedup is structurally lower.
+    let indb_batch: Vec<QueryRequest> = queries[..BATCH]
+        .iter()
+        .map(|&q| QueryRequest::in_database(q, 10))
+        .collect();
+    let mut mixed_batch = Vec::new();
+    for &q in &queries[..BATCH / 2] {
+        mixed_batch.push(QueryRequest::in_database(q, 10));
+    }
+    for feature in probes.iter().take(BATCH / 2) {
+        mixed_batch.push(QueryRequest::out_of_sample(feature.clone(), 10));
+    }
+    let scalar_server = QueryServer::new(
+        Arc::clone(&oos),
+        ServeOptions::with_workers(1).scalar_dispatch(),
+    );
+    let panel_server = QueryServer::new(Arc::clone(&oos), ServeOptions::with_workers(1));
+    for server in [&scalar_server, &panel_server] {
+        for batch in [&indb_batch, &mixed_batch] {
+            for answer in server.serve_batch(batch) {
+                answer.expect("warm serve");
+            }
+        }
+    }
+    for (name, server, batch) in [
+        ("serve_scalar_b32", &scalar_server, &indb_batch),
+        ("serve_panel_b32", &panel_server, &indb_batch),
+        ("serve_mixed_scalar_b32", &scalar_server, &mixed_batch),
+        ("serve_mixed_panel_b32", &panel_server, &mixed_batch),
+    ] {
+        let (latencies, per_iter) = time_rounds(rounds * 8, batch.len(), || {
+            for answer in server.serve_batch(batch) {
+                answer.expect("serve");
+            }
+        });
+        results.push(ScenarioResult {
+            name,
+            latencies,
+            queries_per_iter: per_iter,
+        });
+    }
+
+    // -- incremental updates: apply latency --------------------------------
+    {
+        let m = if smoke { 600 } else { 2_000 };
+        let update_features: Vec<Vec<f64>> = dataset.features()[..m].to_vec();
+        let mut updatable = IndexBuilder::new()
+            .knn_k(5)
+            .rebuild_policy(RebuildPolicy::never())
+            .build(update_features)
+            .expect("updatable index");
+        let mut latencies = Vec::new();
+        for i in 0..(if smoke { 4 } else { 12 }) {
+            let mut delta = IndexDelta::new();
+            let mut feature = dataset.features()[(i * 41) % m].clone();
+            feature[0] += 0.05;
+            delta.insert(feature);
+            let start = Instant::now();
+            updatable.apply(&delta).expect("apply delta");
+            latencies.push(start.elapsed().as_secs_f64());
+        }
+        results.push(ScenarioResult {
+            name: "update_insert",
+            latencies,
+            queries_per_iter: 1,
+        });
+    }
+
+    // -- report, assert, write ---------------------------------------------
+    let mut qps = std::collections::BTreeMap::new();
+    for result in &results {
+        eprintln!(
+            "  {:<18} p50 {:>10.1} us   p95 {:>10.1} us   {:>9.0} q/s",
+            result.name,
+            result.p50_us(),
+            result.p95_us(),
+            result.qps()
+        );
+        qps.insert(result.name, result.qps());
+    }
+    let serve_speedup = qps["serve_panel_b32"] / qps["serve_scalar_b32"];
+    let mixed_speedup = qps["serve_mixed_panel_b32"] / qps["serve_mixed_scalar_b32"];
+    let search_speedup = qps["search_batch32"] / qps["search_scalar"];
+    eprintln!(
+        "  panel vs scalar: serve in-db {serve_speedup:.2}x, serve mixed {mixed_speedup:.2}x, \
+         core in-db {search_speedup:.2}x (batch {BATCH}, 1 worker)"
+    );
+    if smoke {
+        assert!(
+            serve_speedup >= 1.0,
+            "smoke gate: batched serving ({:.0} q/s) must not be slower than scalar ({:.0} q/s)",
+            qps["serve_panel_b32"],
+            qps["serve_scalar_b32"]
+        );
+    } else {
+        assert!(
+            serve_speedup >= 2.0,
+            "acceptance gate: panel serving must be >= 2x scalar at batch {BATCH} \
+             (got {serve_speedup:.2}x)"
+        );
+    }
+
+    let json = render_json(&results, smoke);
+    validate_json(&json).expect("perf_baseline emitted invalid JSON");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = if smoke {
+        let dir = root.join("target");
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        dir.join("BENCH_query.smoke.json")
+    } else {
+        root.join("BENCH_query.json")
+    };
+    std::fs::write(&path, &json).expect("write baseline file");
+    // Round-trip what actually landed on disk.
+    let reread = std::fs::read_to_string(&path).expect("re-read baseline file");
+    validate_json(&reread).expect("baseline file on disk is invalid JSON");
+    eprintln!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// JSON out (hand-rolled: the workspace deliberately has no third-party deps)
+// ---------------------------------------------------------------------------
+
+fn render_json(results: &[ScenarioResult], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"scenarios\": {\n");
+    for (i, result) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{ \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"qps\": {:.1} }}{}\n",
+            result.name,
+            result.p50_us(),
+            result.p95_us(),
+            result.qps(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Civil date from the Unix timestamp (Howard Hinnant's days-to-civil
+/// algorithm) — no chrono in this workspace.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let days = secs.div_euclid(86_400);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator (objects, strings, numbers, booleans) — enough to
+// assert the baseline file is well-formed without a serde dependency.
+// ---------------------------------------------------------------------------
+
+fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true"),
+        Some(b'f') => parse_literal(bytes, pos, "false"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        other => Err(format!("unexpected token {other:?} at byte {pos}")),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?} at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = bytes.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(()),
+            b'\\' => *pos += 1,
+            _ => {}
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    while let Some(&c) = bytes.get(*pos) {
+        if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(drop)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::params::MrParams;
 use crate::ranking::{check_k, check_query, Ranker, TopKResult};
+use crate::topk::{f64_sort_key, BoundedTopK, Entry};
 use crate::{CoreError, Result};
 use mogul_graph::clustering::kmeans::{kmeans, KmeansConfig};
 use mogul_sparse::woodbury::woodbury_solve_csr;
@@ -78,31 +79,34 @@ fn epanechnikov(t: f64) -> f64 {
 
 /// Nadaraya–Watson weights of one point to its `s` nearest anchors.
 /// Returns `(anchor index, weight)` pairs with weights summing to 1.
+///
+/// Only the `s + 1` nearest anchors are ever needed (the extra one sets the
+/// kernel bandwidth), so the scan runs through the shared bounded top-k
+/// collector — `O(d log s)` instead of a full `O(d log d)` sort, with ties
+/// pinned to the lower anchor index as before.
 fn anchor_weights(feature: &[f64], anchors: &[Vec<f64>], s: usize) -> Vec<(usize, f64)> {
-    let mut dists: Vec<(usize, f64)> = anchors
-        .iter()
-        .enumerate()
-        .map(|(a, anchor)| {
-            (
-                a,
-                mogul_sparse::vector::squared_euclidean_unchecked(feature, anchor).sqrt(),
-            )
-        })
-        .collect();
-    dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     let s = s.min(anchors.len()).max(1);
+    let mut nearest = BoundedTopK::new((s + 1).min(anchors.len()));
+    for (a, anchor) in anchors.iter().enumerate() {
+        let d = mogul_sparse::vector::squared_euclidean_unchecked(feature, anchor).sqrt();
+        nearest.offer(Entry {
+            key: (f64_sort_key(d), a),
+            value: d,
+        });
+    }
+    let dists = nearest.into_sorted_vec();
     // Bandwidth: distance to the (s+1)-th nearest anchor (or slightly beyond
     // the s-th when there is no further anchor), so the s kept anchors all
     // fall inside the kernel support.
     let bandwidth = if dists.len() > s {
-        dists[s].1
+        dists[s].value
     } else {
-        dists[s - 1].1 * 1.0001 + 1e-12
+        dists[s - 1].value * 1.0001 + 1e-12
     }
     .max(1e-12);
     let mut weights: Vec<(usize, f64)> = dists[..s]
         .iter()
-        .map(|&(a, d)| (a, epanechnikov(d / bandwidth)))
+        .map(|e| (e.key.1, epanechnikov(e.value / bandwidth)))
         .collect();
     let total: f64 = weights.iter().map(|&(_, w)| w).sum();
     if total <= 1e-300 {

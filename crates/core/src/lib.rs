@@ -41,6 +41,7 @@ pub mod mogul;
 pub mod out_of_sample;
 pub mod params;
 pub mod ranking;
+pub mod topk;
 pub mod update;
 
 pub use emr::{EmrConfig, EmrSolver};
@@ -49,12 +50,13 @@ pub use exact::InverseSolver;
 pub use fmr::{FmrConfig, FmrSolver};
 pub use iterative::{IterativeConfig, IterativeSolver};
 pub use mogul::{
-    Factorization, MogulConfig, MogulIndex, PrecomputeStats, SearchMode, SearchStats,
-    SearchWorkspace,
+    BatchWorkspace, Factorization, MogulConfig, MogulIndex, PrecomputeStats, SearchMode,
+    SearchStats, SearchWorkspace, PANEL_WIDTH,
 };
 pub use out_of_sample::{OosWorkspace, OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
 pub use params::MrParams;
 pub use ranking::{RankedNode, Ranker, TopKResult};
+pub use topk::{f64_sort_key, BoundedTopK};
 pub use update::{
     IndexBuilder, IndexDelta, IndexSnapshot, RebuildDebt, RebuildPolicy, SnapshotWorkspace,
     UpdatableIndex, UpdateOp, UpdateReport,

@@ -82,6 +82,46 @@ impl ClusterBounds {
         &self.border_columns[cluster]
     }
 
+    /// Panel form of [`ClusterBounds::cluster_estimate`]: evaluate the upper
+    /// bound for every lane of an `n × width` score panel
+    /// (`x_panel[j * width + lane]`) in one traversal of the stored border
+    /// columns, writing the per-lane bounds into `out[..width]`.
+    ///
+    /// Lane `l`'s arithmetic matches the scalar estimate operation for
+    /// operation (same accumulation order, same geometric factor), so the
+    /// batched search prunes exactly the clusters the scalar search prunes.
+    pub fn cluster_estimates_panel(
+        &self,
+        cluster: usize,
+        cluster_len: usize,
+        x_panel: &[f64],
+        width: usize,
+        out: &mut [f64],
+    ) {
+        let out = &mut out[..width];
+        out.fill(0.0);
+        for &(j, u_max) in &self.border_columns[cluster] {
+            let row = &x_panel[j * width..(j + 1) * width];
+            for (acc, &x) in out.iter_mut().zip(row.iter()) {
+                *acc += u_max * x.abs();
+            }
+        }
+        if cluster_len <= 1 {
+            return;
+        }
+        let base = 1.0 + self.max_within[cluster];
+        let exponent = (cluster_len - 1) as f64;
+        // The geometric factor is shared by every lane; compute it at most
+        // once and only if some lane needs it. Same overflow semantics as
+        // the scalar path: `inf` means "cannot prune", which is always safe.
+        let mut factor = None;
+        for acc in out.iter_mut() {
+            if *acc != 0.0 {
+                *acc *= *factor.get_or_insert_with(|| base.powf(exponent));
+            }
+        }
+    }
+
     /// Evaluate the upper bound `x̄'_{C_i} = X_i (1 + Ū_i)^{N_i − 1}` given
     /// the border scores `x_border(j)` (the caller passes the permuted score
     /// vector restricted to `j ≥ c_N`; other indices are never requested).

@@ -18,10 +18,12 @@
 //! answer. Out-of-sample queries are handled by
 //! [`crate::out_of_sample::OutOfSampleIndex`].
 
+mod batch;
 mod bounds;
 mod index;
 mod search;
 
+pub use batch::{BatchWorkspace, PANEL_WIDTH};
 pub use bounds::ClusterBounds;
 pub use index::{Factorization, MogulConfig, MogulIndex, PrecomputeStats};
 pub use search::{SearchMode, SearchStats, SearchWorkspace};

@@ -22,10 +22,10 @@
 
 use crate::mogul::index::{Factorization, MogulIndex};
 use crate::ranking::{check_k, check_query, RankedNode, Ranker, TopKResult};
+use crate::topk::BoundedTopK;
 use crate::Result;
 use mogul_graph::ordering::ClusterRange;
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
 
 /// How much of Mogul's machinery the search uses. The three modes correspond
 /// to the three curves of Figure 5 in the paper.
@@ -109,16 +109,21 @@ impl SearchWorkspace {
     }
 }
 
-/// Min-heap based top-k collector mirroring Algorithm 2's set `K`: it starts
-/// with `k` implicit dummy nodes of score 0, so the threshold `θ` is never
-/// negative and nodes with negative approximate scores are ignored.
-struct TopKCollector {
-    k: usize,
-    heap: BinaryHeap<HeapEntry>,
+/// Top-k collector mirroring Algorithm 2's set `K`: it starts with `k`
+/// implicit dummy nodes of score 0, so the threshold `θ` is never negative
+/// and nodes with negative approximate scores are ignored. Built on the
+/// shared [`BoundedTopK`] selector; the batched panel search keeps one
+/// collector per lane.
+pub(crate) struct TopKCollector {
+    inner: BoundedTopK<HeapEntry>,
+    /// Cached threshold `θ` — the hot offer path is dominated by rejected
+    /// offers, which only need one comparison against this field; it is
+    /// recomputed from the heap only when an offer is accepted.
+    threshold: f64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct HeapEntry {
+pub(crate) struct HeapEntry {
     score: f64,
     node: usize,
 }
@@ -145,35 +150,31 @@ impl Ord for HeapEntry {
 impl TopKCollector {
     /// Build a collector on top of a recycled heap buffer (cleared here); the
     /// buffer is handed back by [`TopKCollector::finish`].
-    fn with_buffer(k: usize, buf: Vec<HeapEntry>) -> Self {
-        let mut heap = BinaryHeap::from(buf);
-        heap.clear();
-        heap.reserve(k + 1);
-        TopKCollector { k, heap }
+    pub(crate) fn with_buffer(k: usize, buf: Vec<HeapEntry>) -> Self {
+        TopKCollector {
+            inner: BoundedTopK::with_buffer(k, buf),
+            threshold: 0.0,
+        }
     }
 
     /// Current threshold `θ`: the lowest score in `K` (0 while dummies remain).
-    fn threshold(&self) -> f64 {
-        if self.heap.len() < self.k {
-            0.0
-        } else {
-            self.heap.peek().map_or(0.0, |e| e.score)
-        }
+    pub(crate) fn threshold(&self) -> f64 {
+        self.threshold
     }
 
-    fn offer(&mut self, node: usize, score: f64) {
-        if !score.is_finite() || score < self.threshold() {
+    #[inline]
+    pub(crate) fn offer(&mut self, node: usize, score: f64) {
+        if !score.is_finite() || score < self.threshold {
             return;
         }
-        self.heap.push(HeapEntry { score, node });
-        if self.heap.len() > self.k {
-            self.heap.pop();
+        if self.inner.offer(HeapEntry { score, node }) && self.inner.is_full() {
+            self.threshold = self.inner.worst().map_or(0.0, |e| e.score);
         }
     }
 
     /// Extract the result and return the (cleared) heap buffer for reuse.
-    fn finish(self) -> (TopKResult, Vec<HeapEntry>) {
-        let mut buf = self.heap.into_vec();
+    pub(crate) fn finish(self) -> (TopKResult, Vec<HeapEntry>) {
+        let mut buf = self.inner.into_unsorted_vec();
         let result = TopKResult::new(
             buf.iter()
                 .map(|e| RankedNode {

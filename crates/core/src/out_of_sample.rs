@@ -9,8 +9,11 @@
 //! Algorithm 2 search. Both phases are `O(n)`; Table 2 of the paper breaks
 //! the total time into exactly these two parts.
 
-use crate::mogul::{MogulIndex, SearchMode, SearchStats, SearchWorkspace};
+use crate::mogul::{
+    BatchWorkspace, MogulIndex, SearchMode, SearchStats, SearchWorkspace, PANEL_WIDTH,
+};
 use crate::ranking::{check_k, TopKResult};
+use crate::topk::{f64_sort_key, BoundedTopK, Entry};
 use crate::{CoreError, Result};
 use std::time::Instant;
 
@@ -28,11 +31,13 @@ use std::time::Instant;
 pub struct OosWorkspace {
     /// Scratch of the Algorithm 2 search phase.
     search: SearchWorkspace,
-    /// `(cluster, centroid distance²)` pairs, sorted nearest first.
-    cluster_order: Vec<(usize, f64)>,
-    /// Candidate nodes drawn from the probed clusters.
-    candidates: Vec<usize>,
-    /// `(node, euclidean distance)` pairs of the scored candidates.
+    /// Recycled buffer of the bounded nearest-cluster selection
+    /// (`(centroid distance² key, cluster)` pairs).
+    cluster_order: Vec<(u64, usize)>,
+    /// Recycled buffer of the bounded nearest-neighbour selection.
+    candidates: Vec<Entry<(u64, usize), (usize, f64)>>,
+    /// `(node, euclidean distance)` pairs of the selected neighbours,
+    /// nearest first.
     scored: Vec<(usize, f64)>,
     /// Normalized heat-kernel weighted multi-node query vector.
     weights: Vec<(usize, f64)>,
@@ -219,6 +224,104 @@ impl OutOfSampleIndex {
         k: usize,
     ) -> Result<OutOfSampleResult> {
         check_k(k)?;
+
+        // Phase 1: nearest cluster(s) by centroid, then nearest neighbours
+        // inside them, turned into a normalized weighted query vector.
+        let nn_start = Instant::now();
+        self.collect_query_weights(ws, feature)?;
+        let nearest_neighbor_secs = nn_start.elapsed().as_secs_f64();
+
+        // Phase 2: ordinary Mogul search with the weighted query vector.
+        let search_start = Instant::now();
+        let OosWorkspace {
+            search, weights, ..
+        } = ws;
+        let (top_k, stats) =
+            self.index
+                .search_weighted_in(search, weights, k, SearchMode::Pruned)?;
+        let top_k_secs = search_start.elapsed().as_secs_f64();
+
+        Ok(OutOfSampleResult {
+            top_k,
+            neighbors: ws.scored.iter().map(|&(node, _)| node).collect(),
+            nearest_neighbor_secs,
+            top_k_secs,
+            stats,
+        })
+    }
+
+    /// Batched [`OutOfSampleIndex::query`] over many feature vectors.
+    ///
+    /// Phase 1 (nearest cluster / nearest neighbours / weight construction)
+    /// runs per query exactly as in the scalar path; phase 2 packs the
+    /// weighted query vectors into [`PANEL_WIDTH`]-wide panels and runs the
+    /// batched Algorithm 2 engine, so the factor structure is traversed once
+    /// per panel instead of once per query. Rankings, neighbours and work
+    /// counters are bit-identical to [`OutOfSampleIndex::query_in`] per
+    /// query; only the timing split differs — `top_k_secs` reports each
+    /// lane's even share of its panel's phase-2 wall clock.
+    ///
+    /// One invalid feature fails the whole call (callers needing per-query
+    /// error isolation, like `mogul-serve`, fall back to scalar queries for
+    /// the affected batch).
+    pub fn query_batch_in(
+        &self,
+        ws: &mut BatchWorkspace,
+        features: &[&[f64]],
+        k: usize,
+    ) -> Result<Vec<OutOfSampleResult>> {
+        check_k(k)?;
+        let mut out = Vec::with_capacity(features.len());
+        let mut panel_results: Vec<(TopKResult, SearchStats)> = Vec::new();
+        let mut phase1: Vec<(f64, Vec<usize>)> = Vec::with_capacity(PANEL_WIDTH);
+        for chunk in features.chunks(PANEL_WIDTH) {
+            self.index.batch_begin(ws);
+            phase1.clear();
+            for &feature in chunk {
+                let nn_start = Instant::now();
+                self.collect_query_weights(&mut ws.oos, feature)?;
+                let nn_secs = nn_start.elapsed().as_secs_f64();
+                let neighbors = ws.oos.scored.iter().map(|&(node, _)| node).collect();
+                let weights = std::mem::take(&mut ws.oos.weights);
+                let pushed = self.index.batch_push_lane(ws, &weights, None);
+                ws.oos.weights = weights;
+                pushed?;
+                phase1.push((nn_secs, neighbors));
+            }
+            let search_start = Instant::now();
+            panel_results.clear();
+            self.index
+                .search_panel_staged(ws, k, SearchMode::Pruned, &mut panel_results)?;
+            let per_lane_secs = search_start.elapsed().as_secs_f64() / chunk.len() as f64;
+            for ((top_k, stats), (nearest_neighbor_secs, neighbors)) in
+                panel_results.drain(..).zip(phase1.drain(..))
+            {
+                out.push(OutOfSampleResult {
+                    top_k,
+                    neighbors,
+                    nearest_neighbor_secs,
+                    top_k_secs: per_lane_secs,
+                    stats,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Phase 1 of Section 4.6.2 (shared by the scalar and batched paths):
+    /// validate `feature`, find the nearest non-empty cluster(s), select the
+    /// `num_neighbors` nearest members, and leave the selected `(node,
+    /// distance)` pairs in `ws.scored` (nearest first) and the normalized
+    /// heat-kernel query vector in `ws.weights`.
+    ///
+    /// Both selections run through the shared bounded top-k collector
+    /// (`O(n log k)`, no full sort); ties are pinned to the earlier
+    /// candidate, matching the stable sort this replaced.
+    pub(crate) fn collect_query_weights(
+        &self,
+        ws: &mut OosWorkspace,
+        feature: &[f64],
+    ) -> Result<()> {
         let dim = self.features.first().map_or(0, |f| f.len());
         if feature.len() != dim {
             return Err(CoreError::DimensionMismatch {
@@ -233,49 +336,53 @@ impl OutOfSampleIndex {
             ));
         }
 
-        // Phase 1: nearest cluster(s) by centroid, then nearest neighbours
-        // inside them.
-        let nn_start = Instant::now();
-        ws.cluster_order.clear();
-        ws.cluster_order.extend(
-            self.centroids
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.is_empty())
-                .map(|(idx, c)| {
-                    (
-                        idx,
-                        mogul_sparse::vector::squared_euclidean_unchecked(feature, c),
-                    )
-                }),
-        );
-        ws.cluster_order
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        if ws.cluster_order.is_empty() {
+        let non_empty = self.centroids.iter().filter(|c| !c.is_empty()).count();
+        if non_empty == 0 {
             return Err(CoreError::InvalidInput(
                 "the database holds no non-empty clusters".into(),
             ));
         }
-        let probes = self
-            .config
-            .cluster_probes
-            .max(1)
-            .min(ws.cluster_order.len());
-        ws.candidates.clear();
-        for &(cluster, _) in ws.cluster_order.iter().take(probes) {
-            ws.candidates.extend(self.members[cluster].iter().copied());
+        let probes = self.config.cluster_probes.max(1).min(non_empty);
+        let mut nearest_clusters =
+            BoundedTopK::with_buffer(probes, std::mem::take(&mut ws.cluster_order));
+        for (idx, c) in self.centroids.iter().enumerate() {
+            if c.is_empty() {
+                continue;
+            }
+            let d2 = mogul_sparse::vector::squared_euclidean_unchecked(feature, c);
+            nearest_clusters.offer((f64_sort_key(d2), idx));
         }
+        let cluster_order = nearest_clusters.into_sorted_vec();
+
+        // Nearest neighbours across the probed clusters; the tie-break
+        // position follows the probe order (nearest cluster first), exactly
+        // like the concatenate-then-stable-sort this replaces.
+        let mut nearest = BoundedTopK::with_buffer(
+            self.config.num_neighbors,
+            std::mem::take(&mut ws.candidates),
+        );
+        let mut position = 0usize;
+        for &(_, cluster) in &cluster_order {
+            for &node in &self.members[cluster] {
+                let d = mogul_sparse::vector::squared_euclidean_unchecked(
+                    feature,
+                    &self.features[node],
+                )
+                .sqrt();
+                nearest.offer(Entry {
+                    key: (f64_sort_key(d), position),
+                    value: (node, d),
+                });
+                position += 1;
+            }
+        }
+        ws.cluster_order = cluster_order;
+        let mut picked = nearest.into_sorted_vec();
         ws.scored.clear();
-        ws.scored.extend(ws.candidates.iter().map(|&node| {
-            (
-                node,
-                mogul_sparse::vector::squared_euclidean_unchecked(feature, &self.features[node])
-                    .sqrt(),
-            )
-        }));
-        ws.scored
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        ws.scored.truncate(self.config.num_neighbors);
+        ws.scored.extend(picked.iter().map(|e| e.value));
+        picked.clear();
+        ws.candidates = picked;
+
         // Heat-kernel weights over the neighbours, normalized to sum 1.
         let sigma = {
             let mean: f64 =
@@ -299,25 +406,7 @@ impl OutOfSampleIndex {
                 w.1 = uniform;
             }
         }
-        let nearest_neighbor_secs = nn_start.elapsed().as_secs_f64();
-
-        // Phase 2: ordinary Mogul search with the weighted query vector.
-        let search_start = Instant::now();
-        let OosWorkspace {
-            search, weights, ..
-        } = ws;
-        let (top_k, stats) =
-            self.index
-                .search_weighted_in(search, weights, k, SearchMode::Pruned)?;
-        let top_k_secs = search_start.elapsed().as_secs_f64();
-
-        Ok(OutOfSampleResult {
-            top_k,
-            neighbors: ws.scored.iter().map(|&(node, _)| node).collect(),
-            nearest_neighbor_secs,
-            top_k_secs,
-            stats,
-        })
+        Ok(())
     }
 }
 

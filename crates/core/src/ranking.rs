@@ -1,6 +1,8 @@
 //! Ranking results and the common solver interface.
 
+use crate::topk::{f64_sort_key, BoundedTopK, Entry};
 use crate::{CoreError, Result};
+use std::cmp::Reverse;
 
 /// A single ranked node with its (approximate or exact) Manifold Ranking
 /// score.
@@ -35,21 +37,43 @@ impl TopKResult {
     ///
     /// `exclude` optionally removes one node (typically the query itself,
     /// which always ranks first) before taking the top k.
+    ///
+    /// Selection is `O(n log k)` through the shared [`BoundedTopK`]
+    /// collector instead of a full sort; the ordering is pinned to
+    /// descending score with ties broken by the smaller node id (NaN scores
+    /// rank below every real score).
     pub fn from_scores(scores: &[f64], k: usize, exclude: Option<usize>) -> Self {
-        let mut items: Vec<RankedNode> = scores
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| Some(i) != exclude)
-            .map(|(node, &score)| RankedNode { node, score })
-            .collect();
-        items.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.node.cmp(&b.node))
-        });
-        items.truncate(k);
-        TopKResult { items }
+        let mut top = BoundedTopK::new(k);
+        for (node, &score) in scores.iter().enumerate() {
+            if Some(node) == exclude {
+                continue;
+            }
+            // NaN would sort *above* +inf under the IEEE total order; pin it
+            // below -inf instead so broken scores never displace real ones.
+            // Normalize -0.0 so both zeros tie (falling to the node-id
+            // tie-break), matching the partial_cmp sort this replaced.
+            let rank = if score.is_nan() {
+                0
+            } else if score == 0.0 {
+                f64_sort_key(0.0)
+            } else {
+                f64_sort_key(score)
+            };
+            top.offer(Entry {
+                key: (Reverse(rank), node),
+                value: score,
+            });
+        }
+        TopKResult {
+            items: top
+                .into_sorted_vec()
+                .into_iter()
+                .map(|e| RankedNode {
+                    node: e.key.1,
+                    score: e.value,
+                })
+                .collect(),
+        }
     }
 
     /// Ranked items, best first.
@@ -165,6 +189,26 @@ mod tests {
         ]);
         assert_eq!(top.nodes(), vec![1, 2]);
         assert!(!top.is_empty());
+    }
+
+    #[test]
+    fn tie_break_order_is_pinned() {
+        // Equal scores rank by ascending node id, both inside the kept set
+        // and at the truncation boundary (nodes 1/3/4 tie at 0.9; k = 2 must
+        // keep the two smallest ids).
+        let scores = [0.5, 0.9, 0.9, 0.9, 0.9, 0.1];
+        let top = TopKResult::from_scores(&scores, 2, None);
+        assert_eq!(top.nodes(), vec![1, 2]);
+        let wide = TopKResult::from_scores(&scores, 5, None);
+        assert_eq!(wide.nodes(), vec![1, 2, 3, 4, 0]);
+        // Negative and NaN scores: finite ordering holds, NaN ranks last.
+        let messy = [f64::NAN, -1.0, -3.0, 2.0];
+        let all = TopKResult::from_scores(&messy, 4, None);
+        assert_eq!(all.nodes(), vec![3, 1, 2, 0]);
+        // Signed zeros tie (node-id order decides), as with the sort-based
+        // implementation this replaced.
+        let zeros = [-0.0, 0.0];
+        assert_eq!(TopKResult::from_scores(&zeros, 1, None).nodes(), vec![0]);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Shared bounded top-k selection.
+//!
+//! Almost every hot path in this crate ends in "keep the k best of a stream
+//! of candidates": Algorithm 2's answer set `K`, the `TopKResult`
+//! constructors of the baselines, the nearest-cluster / nearest-neighbour
+//! scans of out-of-sample queries, the anchor attachment of EMR and the
+//! incremental-update k-NN scan. They all used to mix full `sort_by` passes
+//! (`O(n log n)` and an `O(n)` allocation) with hand-rolled `BinaryHeap`
+//! idioms; this module is the one shared implementation: a bounded max-heap
+//! of the `k` best candidates, `O(n log k)` time, `O(k)` space, with the
+//! tie-break order encoded in the key type.
+//!
+//! Keys are ordered so that **smaller is better** ("top" = the `k` smallest
+//! keys). Selecting by a float with a pinned tie-break is the common case;
+//! [`f64_sort_key`] maps an `f64` to a `u64` that orders like the IEEE total
+//! order, so composite keys are plain tuples:
+//!
+//! * ascending distance, ties to the earlier candidate:
+//!   `(f64_sort_key(d), position)`
+//! * descending score, ties to the smaller node id:
+//!   `(Reverse(f64_sort_key(score)), node)`
+//!
+//! [`Entry`] attaches an arbitrary payload to a key without the payload
+//! participating in the ordering (so payloads need not be `Ord` — `f64`
+//! scores ride along untouched).
+
+use std::collections::BinaryHeap;
+
+/// Map an `f64` to a `u64` that sorts in the same order as the IEEE 754
+/// total order: `-inf < … < -0.0 < +0.0 < … < +inf < NaN` (positive NaN;
+/// negative NaN sorts below `-inf`). The map is monotone and injective, so
+/// tuples of sort keys compare exactly like the underlying floats — callers
+/// that must treat NaN specially (most do: a NaN distance or score is never
+/// a meaningful "best") should filter it before offering.
+#[inline]
+pub fn f64_sort_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// A `(key, payload)` pair ordered **by key alone**: the payload never
+/// participates in comparisons, so it can carry non-`Ord` data (scores,
+/// distances) alongside a totally ordered key.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry<K, V> {
+    /// The ordering key (smaller is better).
+    pub key: K,
+    /// The payload carried with the key.
+    pub value: V,
+}
+
+impl<K: Ord, V> PartialEq for Entry<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<K: Ord, V> Eq for Entry<K, V> {}
+impl<K: Ord, V> PartialOrd for Entry<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, V> Ord for Entry<K, V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A bounded collector of the `k` smallest items of a stream.
+///
+/// Internally a max-heap of at most `k` items whose root is the **worst**
+/// retained item; offering is `O(log k)` and rejected offers (not better
+/// than the current worst of a full collector) cost one comparison.
+#[derive(Debug, Clone)]
+pub struct BoundedTopK<T: Ord> {
+    k: usize,
+    heap: BinaryHeap<T>,
+}
+
+impl<T: Ord> BoundedTopK<T> {
+    /// A collector retaining the `k` smallest offered items.
+    pub fn new(k: usize) -> Self {
+        BoundedTopK {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(1 << 20)),
+        }
+    }
+
+    /// A collector built on a recycled backing buffer (cleared here); the
+    /// buffer is handed back by [`BoundedTopK::into_buffer`] so hot loops
+    /// can reuse the heap allocation across selections.
+    pub fn with_buffer(k: usize, buf: Vec<T>) -> Self {
+        let mut heap = BinaryHeap::from(buf);
+        heap.clear();
+        BoundedTopK { k, heap }
+    }
+
+    /// Number of retained items (`≤ k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` once `k` items are retained (further offers must beat the
+    /// worst retained item).
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The worst retained item, if any — the item the next successful offer
+    /// would evict once the collector is full.
+    pub fn worst(&self) -> Option<&T> {
+        self.heap.peek()
+    }
+
+    /// Offer one item; returns `true` when it was retained (possibly
+    /// evicting the previous worst).
+    pub fn offer(&mut self, item: T) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(item);
+            return true;
+        }
+        match self.heap.peek() {
+            Some(worst) if item < *worst => {
+                self.heap.pop();
+                self.heap.push(item);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The retained items, best (smallest) first.
+    pub fn into_sorted_vec(self) -> Vec<T> {
+        self.heap.into_sorted_vec()
+    }
+
+    /// The retained items in unspecified (heap) order — for callers that
+    /// re-sort anyway and want to recycle the allocation afterwards (clear
+    /// the vector and hand it back to [`BoundedTopK::with_buffer`]).
+    pub fn into_unsorted_vec(self) -> Vec<T> {
+        self.heap.into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn keeps_the_k_smallest_keys() {
+        let mut top = BoundedTopK::new(3);
+        for key in [5u64, 1, 9, 3, 7, 2] {
+            top.offer(key);
+        }
+        assert!(top.is_full());
+        assert_eq!(top.into_sorted_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn k_zero_and_short_streams() {
+        let mut none = BoundedTopK::new(0);
+        assert!(!none.offer(1u32));
+        assert!(none.is_empty());
+        assert!(none.is_full());
+        let mut short = BoundedTopK::new(10);
+        short.offer(4u32);
+        short.offer(2u32);
+        assert_eq!(short.len(), 2);
+        assert!(!short.is_full());
+        assert_eq!(short.into_sorted_vec(), vec![2, 4]);
+    }
+
+    #[test]
+    fn float_key_orders_like_the_values() {
+        let values = [-f64::INFINITY, -3.5, -0.0, 0.0, 1e-300, 2.0, f64::INFINITY];
+        for pair in values.windows(2) {
+            assert!(f64_sort_key(pair[0]) < f64_sort_key(pair[1]), "{pair:?}");
+        }
+        // NaN (positive) sorts above +inf under the total order.
+        assert!(f64_sort_key(f64::NAN) > f64_sort_key(f64::INFINITY));
+    }
+
+    #[test]
+    fn descending_score_with_node_tiebreak() {
+        // The canonical "top-k by score, ties to the smaller node" key.
+        let scores = [(0usize, 0.1), (1, 0.9), (2, 0.5), (3, 0.9), (4, 0.0)];
+        let mut top = BoundedTopK::new(3);
+        for &(node, s) in &scores {
+            top.offer(Entry {
+                key: (Reverse(f64_sort_key(s)), node),
+                value: s,
+            });
+        }
+        let picked: Vec<(usize, f64)> = top
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| (e.key.1, e.value))
+            .collect();
+        assert_eq!(picked, vec![(1, 0.9), (3, 0.9), (2, 0.5)]);
+    }
+
+    #[test]
+    fn buffer_recycling_round_trips() {
+        let mut top = BoundedTopK::with_buffer(2, Vec::with_capacity(16));
+        for key in [4u64, 1, 3] {
+            top.offer(key);
+        }
+        let mut buf = top.into_unsorted_vec();
+        buf.sort_unstable();
+        assert_eq!(buf, vec![1, 3]);
+        buf.clear();
+        assert!(buf.capacity() >= 2);
+        let again = BoundedTopK::<u64>::with_buffer(2, buf);
+        assert!(again.into_unsorted_vec().is_empty());
+    }
+}

@@ -46,9 +46,12 @@
 //! every rebuild.
 
 use crate::engine::RetrievalEngineBuilder;
-use crate::mogul::{MogulConfig, MogulIndex, SearchStats, SearchWorkspace};
+use crate::mogul::{
+    BatchWorkspace, MogulConfig, MogulIndex, SearchMode, SearchStats, SearchWorkspace, PANEL_WIDTH,
+};
 use crate::out_of_sample::{OosWorkspace, OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
 use crate::ranking::{check_k, RankedNode, TopKResult};
+use crate::topk::BoundedTopK;
 use crate::{CoreError, Result};
 use mogul_graph::knn::{
     estimate_sigma, exact_knn_indices, graph_from_neighbor_lists, EdgeWeighting,
@@ -565,29 +568,21 @@ impl UpdatableIndex {
         let id = self.next_id;
         self.next_id += 1;
 
-        // k nearest live items of the new feature: one O(n·d) scan with a
-        // bounded max-heap of the k best candidates (no full sort).
+        // k nearest live items of the new feature: one O(n·d) scan through
+        // the shared bounded top-k collector (no full sort). Candidates are
+        // ordered by (distance, id); distances are finite and non-negative,
+        // so their IEEE bit patterns order like the values.
         let k = self.knn_k;
-        // Order candidates by (distance, id); distances are finite and
-        // non-negative, so their IEEE bit patterns order like the values.
-        let mut heap: std::collections::BinaryHeap<(u64, usize)> =
-            std::collections::BinaryHeap::with_capacity(k + 1);
+        let mut nearest: BoundedTopK<(u64, usize)> = BoundedTopK::new(k);
         for u in 0..self.features.len() {
             if !self.live[u] {
                 continue;
             }
             let d2 = mogul_sparse::vector::squared_euclidean_unchecked(&feature, &self.features[u]);
-            let key = (d2.to_bits(), u);
-            if heap.len() < k {
-                heap.push(key);
-            } else if let Some(&worst) = heap.peek() {
-                if key < worst {
-                    heap.pop();
-                    heap.push(key);
-                }
-            }
+            nearest.offer((d2.to_bits(), u));
         }
-        let mut scored: Vec<(usize, f64)> = heap
+        let mut scored: Vec<(usize, f64)> = nearest
+            .into_sorted_vec()
             .into_iter()
             .map(|(bits, u)| (u, f64::from_bits(bits).sqrt()))
             .collect();
@@ -874,10 +869,15 @@ enum SnapshotState {
 pub struct SnapshotWorkspace {
     /// Scratch of the clean (pruned Algorithm 2) paths.
     oos: OosWorkspace,
-    /// Densified right-hand side of the corrected solve.
+    /// Scratch of the batched (panel) query paths.
+    batch: BatchWorkspace,
+    /// Densified right-hand side of the corrected solve (a panel of up to
+    /// [`PANEL_WIDTH`] columns on the batched path).
     rhs: Vec<f64>,
     /// Corrected score vector.
     scores: Vec<f64>,
+    /// Output panel of the batched corrected base solve.
+    solved: Vec<f64>,
     /// Woodbury scratch.
     corr: CorrectionWorkspace,
     /// Phase-1 `(node, distance)` pairs of corrected out-of-sample queries.
@@ -895,6 +895,11 @@ impl SnapshotWorkspace {
     /// The embedded out-of-sample / search scratch.
     pub fn oos_mut(&mut self) -> &mut OosWorkspace {
         &mut self.oos
+    }
+
+    /// The embedded batched (panel) scratch.
+    pub fn batch_mut(&mut self) -> &mut BatchWorkspace {
+        &mut self.batch
     }
 }
 
@@ -1045,6 +1050,87 @@ impl IndexSnapshot {
         }
     }
 
+    /// Batched [`IndexSnapshot::query_by_id`]: one call answers many
+    /// in-database queries, panel-blocked through the batched Algorithm 2
+    /// engine (clean snapshots) or the multi-RHS `L D Lᵀ` solve plus
+    /// per-lane Woodbury corrections (corrected snapshots). Results are
+    /// bit-identical to the scalar path per query.
+    ///
+    /// One unknown id fails the whole call (callers needing per-request
+    /// error isolation, like `mogul-serve`, fall back to scalar queries for
+    /// the affected batch).
+    pub fn query_batch_by_id_in(
+        &self,
+        ws: &mut SnapshotWorkspace,
+        ids: &[usize],
+        k: usize,
+    ) -> Result<Vec<TopKResult>> {
+        check_k(k)?;
+        let mut nodes = Vec::with_capacity(ids.len());
+        for &id in ids {
+            nodes.push(self.node_of_id.get(id).copied().flatten().ok_or_else(|| {
+                CoreError::InvalidInput(format!(
+                    "item {id} is not in this snapshot (never inserted, or removed)"
+                ))
+            })?);
+        }
+        match &self.state {
+            SnapshotState::Clean => {
+                let results = self.oos.index().search_batch_in(
+                    &mut ws.batch,
+                    &nodes,
+                    k,
+                    SearchMode::Pruned,
+                )?;
+                Ok(results
+                    .into_iter()
+                    .map(|(top, _)| self.remap_top_k(&top))
+                    .collect())
+            }
+            SnapshotState::Corrected {
+                correction, live, ..
+            } => {
+                let total = correction.dim();
+                let base_len = self.oos.index().num_nodes();
+                let scale = self.oos.index().params().query_scale();
+                let mut out = Vec::with_capacity(ids.len());
+                let SnapshotWorkspace {
+                    batch,
+                    rhs,
+                    scores,
+                    solved,
+                    corr,
+                    ..
+                } = ws;
+                for chunk in nodes.chunks(PANEL_WIDTH) {
+                    let width = chunk.len();
+                    // Panel of `(1 − α)`-scaled unit queries in dense node
+                    // space; rows `0..base_len` form the contiguous prefix
+                    // handed to the factorized base solve.
+                    rhs.clear();
+                    rhs.resize(total * width, 0.0);
+                    for (lane, &node) in chunk.iter().enumerate() {
+                        rhs[node * width + lane] += scale;
+                    }
+                    self.oos.index().solve_ranking_system_batch_in(
+                        batch,
+                        &rhs[..base_len * width],
+                        width,
+                        solved,
+                    )?;
+                    for (lane, &node) in chunk.iter().enumerate() {
+                        scores.clear();
+                        scores.extend((0..base_len).map(|i| solved[i * width + lane]));
+                        scores.extend((base_len..total).map(|i| rhs[i * width + lane]));
+                        correction.apply_in(corr, scores)?;
+                        out.push(self.select_top_k(scores, live, k, Some(node)));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
     /// Top-k for an arbitrary feature vector (out-of-sample query).
     ///
     /// On a corrected snapshot, phase 1 (neighbour collection) is an exact
@@ -1092,29 +1178,21 @@ impl IndexSnapshot {
 
                 // Phase 1: exact nearest neighbours among live items, then
                 // normalized heat-kernel weights (mirrors
-                // `OutOfSampleIndex::query_in`). A bounded max-heap keeps
-                // the scan at O(n log num_neighbors) instead of sorting all
-                // n candidates; finite non-negative distances order by their
-                // IEEE bit patterns, so the key is `(bits, node)`.
+                // `OutOfSampleIndex::query_in`). The shared bounded top-k
+                // collector keeps the scan at O(n log num_neighbors) instead
+                // of sorting all n candidates; finite non-negative distances
+                // order by their IEEE bit patterns, so the key is
+                // `(bits, node)`.
                 let nn_start = Instant::now();
                 let num_neighbors = self.oos.config().num_neighbors;
-                let mut nearest: std::collections::BinaryHeap<(u64, usize)> =
-                    std::collections::BinaryHeap::with_capacity(num_neighbors + 1);
+                let mut nearest: BoundedTopK<(u64, usize)> = BoundedTopK::new(num_neighbors);
                 for u in 0..features.len() {
                     if !live[u] {
                         continue;
                     }
                     let d2 =
                         mogul_sparse::vector::squared_euclidean_unchecked(feature, &features[u]);
-                    let key = (d2.to_bits(), u);
-                    if nearest.len() < num_neighbors {
-                        nearest.push(key);
-                    } else if let Some(&worst) = nearest.peek() {
-                        if key < worst {
-                            nearest.pop();
-                            nearest.push(key);
-                        }
-                    }
+                    nearest.offer((d2.to_bits(), u));
                 }
                 ws.scored.clear();
                 ws.scored.extend(
@@ -1156,6 +1234,7 @@ impl IndexSnapshot {
                     corr,
                     scored,
                     weights,
+                    ..
                 } = ws;
                 self.corrected_scores(oos.search_mut(), rhs, scores, corr, correction, weights)?;
                 let top_k = self.select_top_k(scores, live, k, None);
@@ -1174,6 +1253,36 @@ impl IndexSnapshot {
                     },
                 })
             }
+        }
+    }
+
+    /// Batched [`IndexSnapshot::query_by_feature`]: on a clean snapshot the
+    /// batch runs through the panel-blocked
+    /// [`OutOfSampleIndex::query_batch_in`]; on a corrected snapshot each
+    /// feature takes the scalar corrected path (phase 1 — the exact
+    /// nearest-neighbour scan — dominates there, and it is per-query work
+    /// either way). Results are bit-identical to the scalar path per query.
+    pub fn query_batch_by_feature_in(
+        &self,
+        ws: &mut SnapshotWorkspace,
+        features: &[&[f64]],
+        k: usize,
+    ) -> Result<Vec<OutOfSampleResult>> {
+        match &self.state {
+            SnapshotState::Clean => {
+                let mut results = self.oos.query_batch_in(&mut ws.batch, features, k)?;
+                for result in results.iter_mut() {
+                    result.top_k = self.remap_top_k(&result.top_k);
+                    for node in result.neighbors.iter_mut() {
+                        *node = self.ids[*node];
+                    }
+                }
+                Ok(results)
+            }
+            SnapshotState::Corrected { .. } => features
+                .iter()
+                .map(|feature| self.query_by_feature_in(ws, feature, k))
+                .collect(),
         }
     }
 
@@ -1217,31 +1326,22 @@ impl IndexSnapshot {
         k: usize,
         exclude: Option<usize>,
     ) -> TopKResult {
-        // Bounded max-heap of the k best candidates — O(n log k), not a full
-        // sort. Keys are `(Reverse(score_bits), stable_id)` so "smaller key"
-        // means "better" (higher score, ties to the lower id); eligible
-        // scores are finite and ≥ 0, so their IEEE bit patterns order like
-        // the values once −0.0 is normalized.
+        // The shared bounded top-k collector — O(n log k), not a full sort.
+        // Keys are `(Reverse(score_bits), stable_id)` so "smaller key" means
+        // "better" (higher score, ties to the lower id); eligible scores are
+        // finite and ≥ 0, so their IEEE bit patterns order like the values
+        // once −0.0 is normalized.
         use std::cmp::Reverse;
-        let mut heap: std::collections::BinaryHeap<(Reverse<u64>, usize)> =
-            std::collections::BinaryHeap::with_capacity(k + 1);
+        let mut top: BoundedTopK<(Reverse<u64>, usize)> = BoundedTopK::new(k);
         for (node, &score) in scores.iter().enumerate() {
             if !live[node] || Some(node) == exclude || !score.is_finite() || score < 0.0 {
                 continue;
             }
             let score = if score == 0.0 { 0.0 } else { score };
-            let key = (Reverse(score.to_bits()), self.ids[node]);
-            if heap.len() < k {
-                heap.push(key);
-            } else if let Some(&worst) = heap.peek() {
-                if key < worst {
-                    heap.pop();
-                    heap.push(key);
-                }
-            }
+            top.offer((Reverse(score.to_bits()), self.ids[node]));
         }
         TopKResult::new(
-            heap.into_sorted_vec()
+            top.into_sorted_vec()
                 .into_iter()
                 .map(|(Reverse(bits), id)| RankedNode {
                     node: id,

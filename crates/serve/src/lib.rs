@@ -16,7 +16,12 @@
 //! * [`QueryServer`] — dispatches single, batched, and mixed in-database /
 //!   out-of-sample top-k requests across a [`std::thread::scope`]-based
 //!   worker pool, reading from an epoch-versioned
-//!   [`IndexSnapshot`](mogul_core::update::IndexSnapshot).
+//!   [`IndexSnapshot`](mogul_core::update::IndexSnapshot). Batch dispatch is
+//!   **panel-blocked**: workers claim contiguous runs of compatible
+//!   requests (same kind, same `k`) and answer each run through the batched
+//!   multi-RHS substitution engine of `mogul-core` — one traversal of the
+//!   `L D Lᵀ` structure per panel instead of per query (see
+//!   `docs/PERFORMANCE.md`); singletons fall back to the scalar path.
 //! * [`QueryRequest`] / [`QueryResponse`] — the query vocabulary, mixing
 //!   both query kinds freely within one batch.
 //! * [`UpdateRequest`] / [`IndexWriter`] — the write side: updates are

@@ -22,19 +22,45 @@ use std::thread;
 
 /// Configuration of a [`QueryServer`].
 ///
-/// The default (`workers: 0`) auto-detects the worker count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// The default (`workers: 0`) auto-detects the worker count and enables
+/// panel dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Number of worker threads used by
     /// [`QueryServer::serve_batch`]. `0` means "auto": use
     /// [`std::thread::available_parallelism`].
     pub workers: usize,
+    /// Batch requests into multi-RHS panels (see
+    /// [`mogul_core::PANEL_WIDTH`]): contiguous runs of compatible requests
+    /// (same kind, same `k`) are answered through the blocked substitution
+    /// engine instead of one at a time. Results are bit-identical either
+    /// way; disable only to benchmark the scalar dispatch.
+    pub panel_dispatch: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 0,
+            panel_dispatch: true,
+        }
+    }
 }
 
 impl ServeOptions {
     /// Options with an explicit worker count (`0` = auto-detect).
     pub fn with_workers(workers: usize) -> Self {
-        ServeOptions { workers }
+        ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        }
+    }
+
+    /// Disable panel dispatch (scalar per-request execution) — the baseline
+    /// the serving benchmarks compare against.
+    pub fn scalar_dispatch(mut self) -> Self {
+        self.panel_dispatch = false;
+        self
     }
 
     /// The effective worker count after auto-detection.
@@ -125,7 +151,17 @@ impl WorkspacePool {
 pub struct QueryServer {
     state: RwLock<Arc<IndexSnapshot>>,
     workers: usize,
+    panel_dispatch: bool,
     pool: WorkspacePool,
+}
+
+/// One unit of work a batch worker claims: `len == 1` is a scalar request,
+/// `len > 1` a contiguous panel of compatible requests (same kind, same `k`)
+/// answered through the batched multi-RHS engine.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    start: usize,
+    len: usize,
 }
 
 impl QueryServer {
@@ -148,6 +184,7 @@ impl QueryServer {
         QueryServer {
             state: RwLock::new(snapshot),
             workers,
+            panel_dispatch: options.panel_dispatch,
             // One retained workspace per worker covers the steady state; a
             // spike of concurrent batches allocates extras and drops them.
             pool: WorkspacePool::with_capacity(workers),
@@ -223,30 +260,41 @@ impl QueryServer {
     /// `answers[i]` belongs to `requests[i]`. Failures are per-request — one
     /// invalid request never poisons the rest of the batch.
     ///
+    /// The batch is first cut into **jobs**: contiguous runs of compatible
+    /// requests (same kind, same `k`) become panels of up to
+    /// [`mogul_core::PANEL_WIDTH`] requests answered through the batched
+    /// multi-RHS engine; singletons (and everything, when
+    /// [`ServeOptions::panel_dispatch`] is off) take the scalar path. A
+    /// panel whose batched call fails re-runs its requests individually, so
+    /// error reporting stays per-request. Answers are bit-identical to
+    /// scalar dispatch.
+    ///
     /// The snapshot is read once per batch, so all answers of one batch come
-    /// from one epoch even if a writer swaps mid-batch. The batch is spread
-    /// over `min(workers, requests.len())` scoped worker threads; a
-    /// single-worker server (or a one-element batch) runs inline with no
+    /// from one epoch even if a writer swaps mid-batch. Jobs are spread over
+    /// `min(workers, jobs)` scoped worker threads through an atomic cursor;
+    /// a single-worker server (or a one-job batch) runs inline with no
     /// thread spawned at all. `serve_batch` takes `&self`, so any number of
     /// batches may be in flight concurrently on one server.
     pub fn serve_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
         let snapshot = self.snapshot();
-        let workers = self.workers.min(requests.len()).max(1);
+        let jobs = Self::build_jobs(requests, self.panel_dispatch);
+        let workers = self.workers.min(jobs.len()).max(1);
         if workers == 1 {
             let mut ws = self.pool.checkout();
-            let answers = requests
-                .iter()
-                .map(|r| Self::answer(&snapshot, &mut ws, r))
-                .collect();
+            let mut local = Vec::with_capacity(requests.len());
+            for &job in &jobs {
+                Self::answer_job(&snapshot, &mut ws, requests, job, &mut local);
+            }
             self.pool.checkin(ws);
-            return answers;
+            return Self::stitch(local, requests.len());
         }
 
-        // Atomic cursor hands requests to whichever worker is free next;
-        // workers buffer `(index, answer)` pairs locally and the results are
+        // Atomic cursor hands jobs to whichever worker is free next; workers
+        // buffer `(index, answer)` pairs locally and the results are
         // stitched back into request order afterwards.
         let next = AtomicUsize::new(0);
         let snapshot = &snapshot;
+        let jobs = &jobs;
         let per_worker: Vec<Vec<(usize, Result<QueryResponse>)>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -254,11 +302,11 @@ impl QueryServer {
                         let mut ws = self.pool.checkout();
                         let mut local = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= requests.len() {
+                            let j = next.fetch_add(1, Ordering::Relaxed);
+                            if j >= jobs.len() {
                                 break;
                             }
-                            local.push((i, Self::answer(snapshot, &mut ws, &requests[i])));
+                            Self::answer_job(snapshot, &mut ws, requests, jobs[j], &mut local);
                         }
                         self.pool.checkin(ws);
                         local
@@ -271,9 +319,112 @@ impl QueryServer {
                 .collect()
         });
 
-        let mut answers: Vec<Option<Result<QueryResponse>>> =
-            (0..requests.len()).map(|_| None).collect();
-        for (i, answer) in per_worker.into_iter().flatten() {
+        Self::stitch(per_worker.into_iter().flatten().collect(), requests.len())
+    }
+
+    /// Cut a batch into panel/scalar jobs (see [`QueryServer::serve_batch`]).
+    fn build_jobs(requests: &[QueryRequest], panel_dispatch: bool) -> Vec<Job> {
+        if !panel_dispatch {
+            return (0..requests.len())
+                .map(|start| Job { start, len: 1 })
+                .collect();
+        }
+        let compatible = |a: &QueryRequest, b: &QueryRequest| match (a, b) {
+            (QueryRequest::InDatabase { k: ka, .. }, QueryRequest::InDatabase { k: kb, .. }) => {
+                ka == kb
+            }
+            (QueryRequest::OutOfSample { k: ka, .. }, QueryRequest::OutOfSample { k: kb, .. }) => {
+                ka == kb
+            }
+            _ => false,
+        };
+        let mut jobs = Vec::new();
+        let mut start = 0usize;
+        while start < requests.len() {
+            let mut end = start + 1;
+            while end < requests.len()
+                && end - start < mogul_core::PANEL_WIDTH
+                && compatible(&requests[start], &requests[end])
+            {
+                end += 1;
+            }
+            jobs.push(Job {
+                start,
+                len: end - start,
+            });
+            start = end;
+        }
+        jobs
+    }
+
+    /// Answer one job, appending `(request index, answer)` pairs to `local`.
+    fn answer_job(
+        snapshot: &IndexSnapshot,
+        ws: &mut SnapshotWorkspace,
+        requests: &[QueryRequest],
+        job: Job,
+        local: &mut Vec<(usize, Result<QueryResponse>)>,
+    ) {
+        if job.len == 1 {
+            local.push((job.start, Self::answer(snapshot, ws, &requests[job.start])));
+            return;
+        }
+        let slice = &requests[job.start..job.start + job.len];
+        let batched = match &slice[0] {
+            QueryRequest::InDatabase { k, .. } => {
+                let ids: Vec<usize> = slice
+                    .iter()
+                    .map(|r| match r {
+                        QueryRequest::InDatabase { node, .. } => *node,
+                        QueryRequest::OutOfSample { .. } => unreachable!("homogeneous job"),
+                    })
+                    .collect();
+                snapshot.query_batch_by_id_in(ws, &ids, *k).map(|results| {
+                    results
+                        .into_iter()
+                        .map(QueryResponse::InDatabase)
+                        .collect::<Vec<_>>()
+                })
+            }
+            QueryRequest::OutOfSample { k, .. } => {
+                let features: Vec<&[f64]> = slice
+                    .iter()
+                    .map(|r| match r {
+                        QueryRequest::OutOfSample { feature, .. } => feature.as_slice(),
+                        QueryRequest::InDatabase { .. } => unreachable!("homogeneous job"),
+                    })
+                    .collect();
+                snapshot
+                    .query_batch_by_feature_in(ws, &features, *k)
+                    .map(|results| {
+                        results
+                            .into_iter()
+                            .map(|r| QueryResponse::OutOfSample(Box::new(r)))
+                            .collect::<Vec<_>>()
+                    })
+            }
+        };
+        match batched {
+            Ok(answers) => {
+                for (offset, answer) in answers.into_iter().enumerate() {
+                    local.push((job.start + offset, Ok(answer)));
+                }
+            }
+            // The batched entry points fail the whole panel on one invalid
+            // request; re-run the job's requests individually so each gets
+            // its precise per-request result or error.
+            Err(_) => {
+                for (offset, request) in slice.iter().enumerate() {
+                    local.push((job.start + offset, Self::answer(snapshot, ws, request)));
+                }
+            }
+        }
+    }
+
+    /// Reassemble `(index, answer)` pairs into request order.
+    fn stitch(flat: Vec<(usize, Result<QueryResponse>)>, len: usize) -> Vec<Result<QueryResponse>> {
+        let mut answers: Vec<Option<Result<QueryResponse>>> = (0..len).map(|_| None).collect();
+        for (i, answer) in flat {
             answers[i] = Some(answer);
         }
         answers

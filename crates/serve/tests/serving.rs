@@ -192,6 +192,87 @@ fn single_query_paths_match_the_engine() {
 }
 
 #[test]
+fn panel_dispatch_matches_scalar_dispatch_on_homogeneous_runs() {
+    // Homogeneous runs are where panels actually form (mixed batches with
+    // alternating kinds degrade to scalar jobs); the panel and scalar
+    // dispatchers must agree bit for bit, for Mogul and MogulE alike.
+    let (db, queries) = dataset();
+    for exact in [false, true] {
+        let mut builder = RetrievalEngine::builder();
+        if exact {
+            builder = builder.exact_ranking();
+        }
+        let engine = builder.build(db.features().to_vec()).unwrap();
+        let index = Arc::new(engine.into_out_of_sample());
+
+        // A long in-database run, a long out-of-sample run, a k change in
+        // the middle of a run (splits the panel), and a ragged tail.
+        let mut batch = Vec::new();
+        for i in 0..21 {
+            batch.push(QueryRequest::in_database(i * 5 % db.len(), 4));
+        }
+        for (feature, _) in queries.iter().take(11) {
+            batch.push(QueryRequest::out_of_sample(feature.clone(), 6));
+        }
+        batch.push(QueryRequest::in_database(1, 4));
+        batch.push(QueryRequest::in_database(2, 9));
+        batch.push(QueryRequest::in_database(3, 4));
+
+        let panel = QueryServer::new(Arc::clone(&index), ServeOptions::with_workers(1));
+        let scalar = QueryServer::new(
+            Arc::clone(&index),
+            ServeOptions::with_workers(1).scalar_dispatch(),
+        );
+        let threaded = QueryServer::new(Arc::clone(&index), ServeOptions::with_workers(3));
+        let from_panel = panel.serve_batch(&batch);
+        let from_scalar = scalar.serve_batch(&batch);
+        let from_threads = threaded.serve_batch(&batch);
+        for i in 0..batch.len() {
+            let want = from_scalar[i].as_ref().unwrap();
+            for got in [&from_panel[i], &from_threads[i]] {
+                let got = got.as_ref().unwrap();
+                match (want, got) {
+                    (QueryResponse::InDatabase(a), QueryResponse::InDatabase(b)) => {
+                        assert_eq!(a, b, "request {i} (exact={exact})")
+                    }
+                    (QueryResponse::OutOfSample(a), QueryResponse::OutOfSample(b)) => {
+                        assert_eq!(a.top_k, b.top_k, "request {i} (exact={exact})");
+                        assert_eq!(a.neighbors, b.neighbors);
+                        assert_eq!(a.stats, b.stats);
+                    }
+                    _ => panic!("response kinds diverge at {i}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn panel_jobs_keep_per_request_error_isolation() {
+    // An invalid request in the middle of a compatible run makes the panel
+    // call fail; the job must fall back to scalar execution so its healthy
+    // neighbours still get answers.
+    let (db, _) = dataset();
+    let engine = RetrievalEngine::builder()
+        .build(db.features().to_vec())
+        .unwrap();
+    let server = QueryServer::from_engine(engine, ServeOptions::with_workers(1));
+    let batch = vec![
+        QueryRequest::in_database(0, 5),
+        QueryRequest::in_database(1, 5),
+        QueryRequest::in_database(db.len() + 7, 5), // invalid, same panel
+        QueryRequest::in_database(2, 5),
+        QueryRequest::in_database(3, 5),
+    ];
+    let answers = server.serve_batch(&batch);
+    assert!(answers[0].is_ok());
+    assert!(answers[1].is_ok());
+    assert!(answers[2].is_err());
+    assert!(answers[3].is_ok());
+    assert!(answers[4].is_ok());
+}
+
+#[test]
 fn empty_batch_is_a_no_op() {
     let (db, _) = dataset();
     let engine = RetrievalEngine::builder()

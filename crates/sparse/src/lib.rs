@@ -13,7 +13,10 @@
 //!   (`A' = P A Pᵀ`).
 //! * [`triangular`] — forward/back substitution (Equations (4) and (5)),
 //!   each solve also available as a `*_into` variant writing into
-//!   caller-owned buffers (see [`SolveWorkspace`]) for allocation-free loops.
+//!   caller-owned buffers (see [`SolveWorkspace`]) for allocation-free loops,
+//!   and as a blocked `*_multi_into` variant that solves a whole panel of
+//!   right-hand sides per traversal of the factor (see
+//!   [`MultiSolveWorkspace`]) — the substrate of the batched query engine.
 //! * [`ichol`] — Incomplete Cholesky `L D Lᵀ` factorization restricted to the
 //!   sparsity pattern of `W` (Equations (6) and (7)).
 //! * [`ldl`] — complete ("Modified Cholesky" in the paper's terminology)
@@ -54,5 +57,5 @@ pub use error::{Result, SparseError};
 pub use ichol::{incomplete_ldl, LdlFactors};
 pub use ldl::{complete_ldl, CompleteLdl};
 pub use permutation::Permutation;
-pub use triangular::SolveWorkspace;
+pub use triangular::{MultiSolveWorkspace, SolveWorkspace, MAX_PANEL_WIDTH};
 pub use woodbury::{CorrectionWorkspace, WoodburyCorrection};

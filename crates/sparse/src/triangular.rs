@@ -223,6 +223,269 @@ pub fn ldl_solve_into(
     solve_unit_upper_into(u, &ws.intermediate, x)
 }
 
+// ---------------------------------------------------------------------------
+// Blocked multi-RHS (panel) solves
+// ---------------------------------------------------------------------------
+
+/// Widest panel the blocked solves are tuned for. Callers may pass any
+/// `width >= 1`; widths up to this constant keep the per-row lane loop inside
+/// one or two cache lines, which is what makes it auto-vectorize well.
+pub const MAX_PANEL_WIDTH: usize = 16;
+
+/// Reusable scratch for the composite [`ldl_solve_multi_into`] operation.
+///
+/// The panel counterpart of [`SolveWorkspace`]: it holds the intermediate
+/// `n × B` panel of the two-phase solve so a warm loop of batched solves
+/// performs no heap allocation. Panels are stored with the `B` lane values of
+/// each node adjacent (`panel[node * width + lane]`), i.e. a `B × n` matrix
+/// in column-major order: one traversal of the factor's CSR structure applies
+/// every nonzero to all `B` right-hand sides through a short contiguous
+/// inner loop.
+#[derive(Debug, Clone, Default)]
+pub struct MultiSolveWorkspace {
+    /// Intermediate panel of `L Y = B` before the diagonal scaling.
+    intermediate: Vec<f64>,
+}
+
+impl MultiSolveWorkspace {
+    /// An empty workspace; the panel grows on first use.
+    pub fn new() -> Self {
+        MultiSolveWorkspace::default()
+    }
+
+    /// A workspace pre-sized for systems of dimension `n` at panel width `w`.
+    pub fn with_capacity(n: usize, w: usize) -> Self {
+        MultiSolveWorkspace {
+            intermediate: Vec::with_capacity(n * w),
+        }
+    }
+}
+
+fn check_square_and_panel(
+    m: &CsrMatrix,
+    panel_len: usize,
+    width: usize,
+    op: &'static str,
+) -> Result<()> {
+    if m.nrows() != m.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+        });
+    }
+    if width == 0 || panel_len != m.nrows() * width {
+        return Err(SparseError::DimensionMismatch {
+            op,
+            left: (m.nrows(), width.max(1)),
+            right: (panel_len / width.max(1), width),
+        });
+    }
+    Ok(())
+}
+
+/// Solve `L X = B` for `width` right-hand sides at once, where `L` is lower
+/// triangular with a non-zero stored diagonal.
+///
+/// `b` and `x` are panels in the [`MultiSolveWorkspace`] layout
+/// (`panel[i * width + lane]`, length `n · width`). Each lane's arithmetic
+/// matches [`solve_lower_triangular_into`] operation for operation, so lane
+/// `l` of the panel result is **bit-identical** to the scalar solve of lane
+/// `l`'s right-hand side — the panel only amortizes the traversal of `L`'s
+/// row pointers and indices across lanes.
+pub fn solve_lower_multi_into(
+    l: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
+    check_square_and_panel(l, b.len(), width, "solve_lower_multi")?;
+    let n = l.nrows();
+    reset(x, n * width);
+    let mut spill = [0.0f64; MAX_PANEL_WIDTH];
+    let mut heap_spill: Vec<f64> = Vec::new();
+    let acc: &mut [f64] = if width <= MAX_PANEL_WIDTH {
+        &mut spill[..width]
+    } else {
+        heap_spill.resize(width, 0.0);
+        &mut heap_spill
+    };
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        acc.copy_from_slice(&b[i * width..(i + 1) * width]);
+        let mut diag = 0.0;
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j < i {
+                let xr = &x[j * width..(j + 1) * width];
+                for (a, &xv) in acc.iter_mut().zip(xr.iter()) {
+                    *a -= v * xv;
+                }
+            } else if j == i {
+                diag = v;
+            }
+        }
+        if diag.abs() < PIVOT_TOL {
+            return Err(SparseError::SingularMatrix { pivot: i });
+        }
+        let xr = &mut x[i * width..(i + 1) * width];
+        for (xv, &a) in xr.iter_mut().zip(acc.iter()) {
+            *xv = a / diag;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `L X = B` for `width` right-hand sides where `L` is *unit* lower
+/// triangular. Panel layout and bit-identity guarantees as in
+/// [`solve_lower_multi_into`]; each lane matches [`solve_unit_lower_into`].
+pub fn solve_unit_lower_multi_into(
+    l: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
+    check_square_and_panel(l, b.len(), width, "solve_unit_lower_multi")?;
+    let n = l.nrows();
+    reset(x, n * width);
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        let (done, rest) = x.split_at_mut(i * width);
+        let xi = &mut rest[..width];
+        xi.copy_from_slice(&b[i * width..(i + 1) * width]);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j < i {
+                let xj = &done[j * width..(j + 1) * width];
+                for (a, &xv) in xi.iter_mut().zip(xj.iter()) {
+                    *a -= v * xv;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `U X = B` for `width` right-hand sides at once, where `U` is upper
+/// triangular with a non-zero stored diagonal. Panel layout and bit-identity
+/// guarantees as in [`solve_lower_multi_into`]; each lane matches
+/// [`solve_upper_triangular_into`].
+pub fn solve_upper_multi_into(
+    u: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
+    check_square_and_panel(u, b.len(), width, "solve_upper_multi")?;
+    let n = u.nrows();
+    reset(x, n * width);
+    let mut spill = [0.0f64; MAX_PANEL_WIDTH];
+    let mut heap_spill: Vec<f64> = Vec::new();
+    let acc: &mut [f64] = if width <= MAX_PANEL_WIDTH {
+        &mut spill[..width]
+    } else {
+        heap_spill.resize(width, 0.0);
+        &mut heap_spill
+    };
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        acc.copy_from_slice(&b[i * width..(i + 1) * width]);
+        let mut diag = 0.0;
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j > i {
+                let xr = &x[j * width..(j + 1) * width];
+                for (a, &xv) in acc.iter_mut().zip(xr.iter()) {
+                    *a -= v * xv;
+                }
+            } else if j == i {
+                diag = v;
+            }
+        }
+        if diag.abs() < PIVOT_TOL {
+            return Err(SparseError::SingularMatrix { pivot: i });
+        }
+        let xr = &mut x[i * width..(i + 1) * width];
+        for (xv, &a) in xr.iter_mut().zip(acc.iter()) {
+            *xv = a / diag;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `U X = B` for `width` right-hand sides where `U` is *unit* upper
+/// triangular. Panel layout and bit-identity guarantees as in
+/// [`solve_lower_multi_into`]; each lane matches [`solve_unit_upper_into`].
+pub fn solve_unit_upper_multi_into(
+    u: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
+    check_square_and_panel(u, b.len(), width, "solve_unit_upper_multi")?;
+    let n = u.nrows();
+    reset(x, n * width);
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        let (head, tail) = x.split_at_mut((i + 1) * width);
+        let xi = &mut head[i * width..];
+        xi.copy_from_slice(&b[i * width..(i + 1) * width]);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j > i {
+                let xj = &tail[(j - i - 1) * width..(j - i) * width];
+                for (a, &xv) in xi.iter_mut().zip(xj.iter()) {
+                    *a -= v * xv;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scale every row of an `n × width` panel by the inverse diagonal, in place:
+/// `panel[i, lane] /= d[i]` for every lane. Each lane's arithmetic matches
+/// the scalar diagonal phase of [`ldl_solve_into`] bit for bit.
+pub fn scale_diag_multi_into(d: &[f64], width: usize, panel: &mut [f64]) -> Result<()> {
+    if width == 0 || panel.len() != d.len() * width {
+        return Err(SparseError::DimensionMismatch {
+            op: "scale_diag_multi",
+            left: (d.len(), width.max(1)),
+            right: (panel.len() / width.max(1), width),
+        });
+    }
+    for (i, (&di, row)) in d.iter().zip(panel.chunks_exact_mut(width)).enumerate() {
+        if di.abs() < PIVOT_TOL {
+            return Err(SparseError::SingularMatrix { pivot: i });
+        }
+        for v in row.iter_mut() {
+            *v /= di;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `L D Lᵀ X = B` for `width` right-hand sides at once — the panel
+/// counterpart of [`ldl_solve_into`]: one unit-lower sweep, one diagonal
+/// scaling and one unit-upper sweep, each traversing the factor structure
+/// once for the whole panel. Lane `l` of the result is bit-identical to
+/// [`ldl_solve_into`] on lane `l`'s right-hand side.
+pub fn ldl_solve_multi_into(
+    l: &CsrMatrix,
+    u: &CsrMatrix,
+    d: &[f64],
+    b: &[f64],
+    width: usize,
+    ws: &mut MultiSolveWorkspace,
+    x: &mut Vec<f64>,
+) -> Result<()> {
+    if d.len() != l.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "ldl_solve_multi diagonal",
+            left: (l.nrows(), l.ncols()),
+            right: (d.len(), 1),
+        });
+    }
+    solve_unit_lower_multi_into(l, b, width, &mut ws.intermediate)?;
+    scale_diag_multi_into(d, width, &mut ws.intermediate)?;
+    solve_unit_upper_multi_into(u, &ws.intermediate, width, x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +593,110 @@ mod tests {
         // Shape errors are reported through the `_into` path as well.
         assert!(solve_lower_triangular_into(&l, &[1.0], &mut out).is_err());
         assert!(ldl_solve_into(&unit_l, &unit_u, &[1.0], &[1.0; 3], &mut ws, &mut out).is_err());
+    }
+
+    #[test]
+    fn multi_solves_are_bit_identical_to_scalar_lanes() {
+        // Every panel width (including ragged widths and widths past the
+        // tuned maximum) must reproduce the scalar solves lane for lane,
+        // bit for bit.
+        let l = lower_example();
+        let u = l.transpose();
+        let unit_l = CsrMatrix::from_triplets(3, 3, &[(1, 0, 0.5), (2, 1, 0.25)]).unwrap();
+        let unit_u = unit_l.transpose();
+        let d = vec![2.0, 3.0, 4.0];
+        let n = 3usize;
+
+        for width in [1usize, 2, 3, 5, 8, MAX_PANEL_WIDTH + 1] {
+            // Deterministic, lane-distinct right-hand sides.
+            let lanes: Vec<Vec<f64>> = (0..width)
+                .map(|lane| {
+                    (0..n)
+                        .map(|i| ((i + 1) as f64) * 0.7 - (lane as f64) * 1.3)
+                        .collect()
+                })
+                .collect();
+            let mut panel = vec![0.0; n * width];
+            for (lane, b) in lanes.iter().enumerate() {
+                for i in 0..n {
+                    panel[i * width + lane] = b[i];
+                }
+            }
+
+            let mut out = Vec::new();
+            let mut ws = MultiSolveWorkspace::with_capacity(n, width);
+            let mut scalar = Vec::new();
+            let mut scalar_ws = SolveWorkspace::new();
+
+            solve_lower_multi_into(&l, &panel, width, &mut out).unwrap();
+            for (lane, b) in lanes.iter().enumerate() {
+                solve_lower_triangular_into(&l, b, &mut scalar).unwrap();
+                for i in 0..n {
+                    assert_eq!(out[i * width + lane], scalar[i], "lower w={width} l={lane}");
+                }
+            }
+            solve_upper_multi_into(&u, &panel, width, &mut out).unwrap();
+            for (lane, b) in lanes.iter().enumerate() {
+                solve_upper_triangular_into(&u, b, &mut scalar).unwrap();
+                for i in 0..n {
+                    assert_eq!(out[i * width + lane], scalar[i], "upper w={width} l={lane}");
+                }
+            }
+            solve_unit_lower_multi_into(&unit_l, &panel, width, &mut out).unwrap();
+            for (lane, b) in lanes.iter().enumerate() {
+                solve_unit_lower_into(&unit_l, b, &mut scalar).unwrap();
+                for i in 0..n {
+                    assert_eq!(out[i * width + lane], scalar[i], "ul w={width} l={lane}");
+                }
+            }
+            solve_unit_upper_multi_into(&unit_u, &panel, width, &mut out).unwrap();
+            for (lane, b) in lanes.iter().enumerate() {
+                solve_unit_upper_into(&unit_u, b, &mut scalar).unwrap();
+                for i in 0..n {
+                    assert_eq!(out[i * width + lane], scalar[i], "uu w={width} l={lane}");
+                }
+            }
+            ldl_solve_multi_into(&unit_l, &unit_u, &d, &panel, width, &mut ws, &mut out).unwrap();
+            for (lane, b) in lanes.iter().enumerate() {
+                ldl_solve_into(&unit_l, &unit_u, &d, b, &mut scalar_ws, &mut scalar).unwrap();
+                for i in 0..n {
+                    assert_eq!(out[i * width + lane], scalar[i], "ldl w={width} l={lane}");
+                }
+            }
+
+            // The in-place diagonal scaling matches the scalar phase too.
+            let mut scaled = panel.clone();
+            scale_diag_multi_into(&d, width, &mut scaled).unwrap();
+            for (lane, b) in lanes.iter().enumerate() {
+                for i in 0..n {
+                    assert_eq!(scaled[i * width + lane], b[i] / d[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_solve_validation() {
+        let l = lower_example();
+        let mut out = Vec::new();
+        // Panel length must be n * width; width must be positive.
+        assert!(solve_lower_multi_into(&l, &[1.0; 5], 2, &mut out).is_err());
+        assert!(solve_lower_multi_into(&l, &[], 0, &mut out).is_err());
+        assert!(solve_unit_lower_multi_into(&l, &[1.0; 4], 2, &mut out).is_err());
+        assert!(solve_upper_multi_into(&l, &[1.0; 4], 3, &mut out).is_err());
+        assert!(solve_unit_upper_multi_into(&l, &[1.0; 7], 2, &mut out).is_err());
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        assert!(solve_lower_multi_into(&rect, &[1.0; 4], 2, &mut out).is_err());
+        // Singular pivots are still reported per row.
+        let sing = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            solve_lower_multi_into(&sing, &[1.0; 4], 2, &mut out),
+            Err(SparseError::SingularMatrix { pivot: 1 })
+        ));
+        assert!(scale_diag_multi_into(&[1.0, 0.0], 2, &mut [1.0; 4]).is_err());
+        assert!(scale_diag_multi_into(&[1.0], 2, &mut [1.0; 3]).is_err());
+        let mut ws = MultiSolveWorkspace::new();
+        assert!(ldl_solve_multi_into(&l, &l, &[1.0], &[1.0; 6], 2, &mut ws, &mut out).is_err());
     }
 
     #[test]
