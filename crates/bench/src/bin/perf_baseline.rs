@@ -32,6 +32,7 @@
 //!
 //! See `docs/PERFORMANCE.md` for how to read and refresh the file.
 
+use mogul_core::persist;
 use mogul_core::update::{IndexBuilder, IndexDelta, RebuildPolicy};
 use mogul_core::{
     BatchWorkspace, MogulConfig, MogulIndex, OosWorkspace, OutOfSampleConfig, OutOfSampleIndex,
@@ -287,6 +288,55 @@ fn main() {
         });
     }
 
+    // -- cold start: load a persisted index vs precompute from scratch ------
+    // The persistence acceptance gate: restarting from a `MOG1` file must be
+    // at least 10x faster than redoing the whole precompute (k-NN graph +
+    // clustering/ordering + LDL^T factorization + bounds) at 8k items.
+    let cold_speedup;
+    {
+        let m = if smoke { 2_000 } else { 8_000 };
+        let cold_features: Vec<Vec<f64>> = dataset.features()[..m].to_vec();
+        eprintln!("perf_baseline: cold-start scenario over {m} items ...");
+        let pre_start = Instant::now();
+        let cold_graph = knn_graph(&cold_features, KnnConfig::with_k(10)).expect("knn graph");
+        let cold_index =
+            MogulIndex::build(&cold_graph, MogulConfig::default()).expect("build index");
+        let cold_oos =
+            OutOfSampleIndex::new(cold_index, cold_features, OutOfSampleConfig::default())
+                .expect("attach features");
+        let precompute_secs = pre_start.elapsed().as_secs_f64();
+
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("target");
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        let path = dir.join("BENCH_cold_start.mog1");
+        persist::save_index(&cold_oos, &path).expect("save index");
+
+        let mut load_latencies = Vec::new();
+        for _ in 0..(if smoke { 3 } else { 10 }) {
+            let start = Instant::now();
+            let loaded = persist::load_index(&path).expect("load index");
+            load_latencies.push(start.elapsed().as_secs_f64());
+            assert_eq!(loaded.index().num_nodes(), m, "loaded index is wrong");
+        }
+        // For these two rows "qps" reads as cold starts per second; the
+        // p50/p95 columns are the interesting ones.
+        results.push(ScenarioResult {
+            name: "cold_start",
+            latencies: load_latencies,
+            queries_per_iter: 1,
+        });
+        results.push(ScenarioResult {
+            name: "cold_start_precompute",
+            latencies: vec![precompute_secs],
+            queries_per_iter: 1,
+        });
+        let load_p50_secs = percentile_us(&results[results.len() - 2].latencies, 0.50) / 1e6;
+        cold_speedup = precompute_secs / load_p50_secs.max(1e-12);
+    }
+
     // -- report, assert, write ---------------------------------------------
     let mut qps = std::collections::BTreeMap::new();
     for result in &results {
@@ -306,6 +356,7 @@ fn main() {
         "  panel vs scalar: serve in-db {serve_speedup:.2}x, serve mixed {mixed_speedup:.2}x, \
          core in-db {search_speedup:.2}x (batch {BATCH}, 1 worker)"
     );
+    eprintln!("  cold start: load is {cold_speedup:.0}x faster than precompute");
     if smoke {
         assert!(
             serve_speedup >= 1.0,
@@ -313,11 +364,21 @@ fn main() {
             qps["serve_panel_b32"],
             qps["serve_scalar_b32"]
         );
+        assert!(
+            cold_speedup >= 1.0,
+            "smoke gate: loading a saved index must not be slower than precompute \
+             (got {cold_speedup:.2}x)"
+        );
     } else {
         assert!(
             serve_speedup >= 2.0,
             "acceptance gate: panel serving must be >= 2x scalar at batch {BATCH} \
              (got {serve_speedup:.2}x)"
+        );
+        assert!(
+            cold_speedup >= 10.0,
+            "acceptance gate: loading a saved 8k-item index must be >= 10x faster than \
+             precompute from scratch (got {cold_speedup:.2}x)"
         );
     }
 

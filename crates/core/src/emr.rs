@@ -185,6 +185,68 @@ impl EmrSolver {
         self.anchors.len()
     }
 
+    /// Borrow the full solver state for the persistence writer (see
+    /// `crate::persist`): `(params, anchors, lambda, h, anchor_neighbors, n)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn persist_parts(
+        &self,
+    ) -> (MrParams, &[Vec<f64>], &[f64], &CsrMatrix, usize, usize) {
+        (
+            self.params,
+            &self.anchors,
+            &self.lambda,
+            &self.h,
+            self.anchor_neighbors,
+            self.n,
+        )
+    }
+
+    /// Reassemble a solver from persisted parts (the loader of
+    /// `crate::persist`), re-validating the shape invariants `EmrSolver::new`
+    /// guarantees.
+    pub(crate) fn from_persist_parts(
+        params: MrParams,
+        anchors: Vec<Vec<f64>>,
+        lambda: Vec<f64>,
+        h: CsrMatrix,
+        anchor_neighbors: usize,
+        n: usize,
+    ) -> Result<Self> {
+        if anchors.is_empty() {
+            return Err(CoreError::InvalidInput(
+                "persisted EMR state has no anchors".into(),
+            ));
+        }
+        let dim = anchors[0].len();
+        if anchors.iter().any(|a| a.len() != dim) {
+            return Err(CoreError::InvalidInput(
+                "persisted EMR anchors have inconsistent dimensions".into(),
+            ));
+        }
+        if lambda.len() != anchors.len() || h.ncols() != anchors.len() || h.nrows() != n {
+            return Err(CoreError::InvalidInput(format!(
+                "persisted EMR shapes disagree: {} anchors, {} degrees, H is {}x{}, n = {n}",
+                anchors.len(),
+                lambda.len(),
+                h.nrows(),
+                h.ncols()
+            )));
+        }
+        if anchor_neighbors == 0 {
+            return Err(CoreError::InvalidInput(
+                "persisted EMR anchor-neighbour count must be at least 1".into(),
+            ));
+        }
+        Ok(EmrSolver {
+            params,
+            anchors,
+            lambda,
+            h,
+            anchor_neighbors,
+            n,
+        })
+    }
+
     /// The anchor coordinates.
     pub fn anchors(&self) -> &[Vec<f64>] {
         &self.anchors

@@ -23,7 +23,11 @@
 //! inserts and removals are applied as Woodbury low-rank corrections against
 //! the existing factorization and published as immutable, epoch-versioned
 //! [`update::IndexSnapshot`]s (the unit the `mogul-serve` crate swaps
-//! atomically for zero-downtime updates).
+//! atomically for zero-downtime updates). [`persist`] makes it **durable**:
+//! a versioned, checksummed on-disk format (`MOG1`) that saves a complete
+//! serving-ready index — factors, ordering, bounds, features, graph and the
+//! clean-epoch updatable state — and loads it back with zero precompute and
+//! bit-identical query answers.
 //!
 //! All solvers implement the [`Ranker`] trait so the evaluation harness can
 //! treat them uniformly.
@@ -40,6 +44,7 @@ pub mod iterative;
 pub mod mogul;
 pub mod out_of_sample;
 pub mod params;
+pub mod persist;
 pub mod ranking;
 pub mod topk;
 pub mod update;
@@ -55,6 +60,7 @@ pub use mogul::{
 };
 pub use out_of_sample::{OosWorkspace, OutOfSampleConfig, OutOfSampleIndex, OutOfSampleResult};
 pub use params::MrParams;
+pub use persist::{IndexFileInfo, PersistError};
 pub use ranking::{RankedNode, Ranker, TopKResult};
 pub use topk::{f64_sort_key, BoundedTopK};
 pub use update::{

@@ -72,6 +72,39 @@ impl ClusterBounds {
         }
     }
 
+    /// Reassemble bounds from their stored parts (the persistence loader;
+    /// see `crate::persist`). `max_within[i]` and `border_columns[i]` must
+    /// describe the same cluster `i`, so both vectors must have one entry
+    /// per cluster.
+    pub fn from_raw_parts(
+        max_within: Vec<f64>,
+        border_columns: Vec<Vec<(usize, f64)>>,
+    ) -> crate::Result<Self> {
+        if max_within.len() != border_columns.len() {
+            return Err(crate::CoreError::InvalidInput(format!(
+                "cluster bounds cover {} clusters but border columns cover {}",
+                max_within.len(),
+                border_columns.len()
+            )));
+        }
+        for (cluster, columns) in border_columns.iter().enumerate() {
+            if columns.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(crate::CoreError::InvalidInput(format!(
+                    "border columns of cluster {cluster} are not strictly ascending"
+                )));
+            }
+        }
+        Ok(ClusterBounds {
+            max_within,
+            border_columns,
+        })
+    }
+
+    /// Number of clusters the bounds cover.
+    pub fn num_clusters(&self) -> usize {
+        self.max_within.len()
+    }
+
     /// `Ū_i` of a cluster.
     pub fn max_within(&self, cluster: usize) -> f64 {
         self.max_within[cluster]

@@ -91,8 +91,9 @@ impl<T: Ord> BoundedTopK<T> {
     }
 
     /// A collector built on a recycled backing buffer (cleared here); the
-    /// buffer is handed back by [`BoundedTopK::into_buffer`] so hot loops
-    /// can reuse the heap allocation across selections.
+    /// buffer is handed back by [`BoundedTopK::into_sorted_vec`] (or
+    /// [`BoundedTopK::into_unsorted_vec`]) so hot loops can reuse the heap
+    /// allocation across selections.
     pub fn with_buffer(k: usize, buf: Vec<T>) -> Self {
         let mut heap = BinaryHeap::from(buf);
         heap.clear();

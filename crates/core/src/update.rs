@@ -515,6 +515,109 @@ impl UpdatableIndex {
         })
     }
 
+    // -- persistence hooks (see `crate::persist`) -----------------------------
+
+    /// Borrow the state the persistence layer stores, or `None` unless the
+    /// current epoch is **clean** (fresh factorization, no tombstones, no
+    /// correction). Clean is the only state worth writing: a corrected epoch
+    /// would persist a dense `n × 2|R|` Woodbury block that a rebuild-on-load
+    /// makes obsolete, so callers checkpoint right after rebuilds instead.
+    pub(crate) fn persist_view(&self) -> Option<PersistView<'_>> {
+        if !self.snapshot.is_clean() || !self.dirty.is_empty() {
+            return None;
+        }
+        debug_assert!(self.live.iter().all(|&l| l), "clean epoch has tombstones");
+        Some(PersistView {
+            config: self.config,
+            knn_k: self.knn_k,
+            oos_config: self.oos_config,
+            policy: self.policy,
+            sigma: self.sigma,
+            graph: &self.graph,
+            base: &self.base,
+            ids: &self.ids,
+            next_id: self.next_id,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Reassemble an updatable index from persisted parts (the loader of
+    /// `crate::persist`). The reconstructed index is on a clean epoch: the
+    /// supplied `base` is both the factorized base and the current
+    /// collection state.
+    #[allow(clippy::too_many_arguments)] // mirrors the persisted field list 1:1
+    pub(crate) fn from_persist_parts(
+        config: MogulConfig,
+        knn_k: usize,
+        oos_config: OutOfSampleConfig,
+        policy: RebuildPolicy,
+        sigma: f64,
+        graph: Graph,
+        base: Arc<OutOfSampleIndex>,
+        ids: Vec<usize>,
+        next_id: usize,
+        epoch: u64,
+    ) -> Result<Self> {
+        let n = base.index().num_nodes();
+        if graph.num_nodes() != n {
+            return Err(CoreError::InvalidInput(format!(
+                "persisted graph covers {} nodes but the index covers {n}",
+                graph.num_nodes()
+            )));
+        }
+        if ids.len() != n {
+            return Err(CoreError::InvalidInput(format!(
+                "persisted id map covers {} nodes but the index covers {n}",
+                ids.len()
+            )));
+        }
+        if knn_k == 0 {
+            return Err(CoreError::InvalidInput(
+                "persisted k-NN degree must be at least 1".into(),
+            ));
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(CoreError::InvalidInput(format!(
+                "persisted heat-kernel bandwidth must be positive and finite, got {sigma}"
+            )));
+        }
+        let node_of_id = node_map_from_ids(&ids, next_id)?;
+        let features = base.features().to_vec();
+        let dim = base.feature_dim();
+        let snapshot = Arc::new(IndexSnapshot {
+            epoch,
+            oos: Arc::clone(&base),
+            state: SnapshotState::Clean,
+            ids: ids.clone(),
+            node_of_id: node_of_id.clone(),
+            live_count: n,
+            dim,
+        });
+        let base_neighbors = (0..n).map(|u| graph.neighbors(u).to_vec()).collect();
+        let base_degrees = (0..n).map(|u| graph.weighted_degree(u)).collect();
+        Ok(UpdatableIndex {
+            config,
+            knn_k,
+            oos_config,
+            policy,
+            sigma,
+            graph,
+            features,
+            live: vec![true; n],
+            ids,
+            node_of_id,
+            next_id,
+            dim,
+            live_count: n,
+            base,
+            base_neighbors,
+            base_degrees,
+            dirty: BTreeSet::new(),
+            epoch,
+            snapshot,
+        })
+    }
+
     // -- validation ---------------------------------------------------------
 
     fn validate(&self, delta: &IndexDelta) -> Result<()> {
@@ -835,6 +938,72 @@ impl UpdatableIndex {
         });
         Ok(())
     }
+}
+
+/// Invert a dense-node → stable-id map, validating that every id is below
+/// the `next_id` counter and assigned to exactly one node (shared by the
+/// persistence loaders).
+fn node_map_from_ids(ids: &[usize], next_id: usize) -> Result<Vec<Option<usize>>> {
+    let mut node_of_id: Vec<Option<usize>> = vec![None; next_id];
+    for (node, &id) in ids.iter().enumerate() {
+        let slot = node_of_id.get_mut(id).ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "persisted stable id {id} is not below the next-id counter {next_id}"
+            ))
+        })?;
+        if slot.replace(node).is_some() {
+            return Err(CoreError::InvalidInput(format!(
+                "persisted stable id {id} is assigned to two nodes"
+            )));
+        }
+    }
+    Ok(node_of_id)
+}
+
+/// Reassemble a read-only clean snapshot from persisted parts — the
+/// serving-only loader of `crate::persist::load_serving`, which skips the
+/// writer-side state (graph, adjacency tables, feature clone) a pure
+/// [`IndexSnapshot`] never touches.
+pub(crate) fn snapshot_from_persist_parts(
+    oos: Arc<OutOfSampleIndex>,
+    ids: Vec<usize>,
+    next_id: usize,
+    epoch: u64,
+) -> Result<Arc<IndexSnapshot>> {
+    let n = oos.index().num_nodes();
+    if ids.len() != n {
+        return Err(CoreError::InvalidInput(format!(
+            "persisted id map covers {} nodes but the index covers {n}",
+            ids.len()
+        )));
+    }
+    let node_of_id = node_map_from_ids(&ids, next_id)?;
+    let dim = oos.feature_dim();
+    Ok(Arc::new(IndexSnapshot {
+        epoch,
+        oos,
+        state: SnapshotState::Clean,
+        ids,
+        node_of_id,
+        live_count: n,
+        dim,
+    }))
+}
+
+/// Borrowed clean-epoch state handed to the persistence writer
+/// (see [`UpdatableIndex::persist_view`]).
+#[derive(Debug)]
+pub(crate) struct PersistView<'a> {
+    pub config: MogulConfig,
+    pub knn_k: usize,
+    pub oos_config: OutOfSampleConfig,
+    pub policy: RebuildPolicy,
+    pub sigma: f64,
+    pub graph: &'a Graph,
+    pub base: &'a Arc<OutOfSampleIndex>,
+    pub ids: &'a [usize],
+    pub next_id: usize,
+    pub epoch: u64,
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,421 @@
+//! Format-level hardening of the `MOG1` container: the corruption matrix
+//! (truncation, bit flips in every region, wrong magic, future versions,
+//! missing sections) must fail **closed** — a typed [`PersistError`], never
+//! a panic, never a silently wrong index — and the committed golden fixture
+//! pins format version 1 so any incompatible layout change must bump
+//! [`persist::FORMAT_VERSION`] rather than silently break old files.
+
+use mogul_core::persist::{self, FileFlavor, PersistError, SectionKind, SectionWriter};
+use mogul_core::update::{IndexBuilder, IndexDelta, RebuildPolicy};
+use mogul_core::{MogulConfig, MogulIndex, OutOfSampleConfig, OutOfSampleIndex};
+use mogul_graph::knn::{knn_graph, KnnConfig};
+
+/// Small deterministic corpus shared by every test here.
+fn features() -> Vec<Vec<f64>> {
+    (0..24)
+        .map(|i| {
+            let blob = (i % 2) as f64;
+            vec![
+                blob * 7.0 + ((i * 31) % 13) as f64 / 13.0,
+                blob * 7.0 + ((i * 17) % 11) as f64 / 11.0,
+                0.1 * (i % 5) as f64,
+            ]
+        })
+        .collect()
+}
+
+fn index_bytes() -> Vec<u8> {
+    let features = features();
+    let graph = knn_graph(&features, KnnConfig::with_k(4)).unwrap();
+    let index = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+    let oos = OutOfSampleIndex::new(index, features, OutOfSampleConfig::default()).unwrap();
+    persist::save_index_to(&oos, Vec::new()).unwrap()
+}
+
+fn updatable_bytes() -> Vec<u8> {
+    let index = IndexBuilder::new()
+        .knn_k(3)
+        .rebuild_policy(RebuildPolicy::never())
+        .build(features())
+        .unwrap();
+    persist::save_updatable_to(&index, Vec::new()).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = index_bytes();
+    bytes[0..4].copy_from_slice(b"NOPE");
+    match persist::load_index_from_bytes(&bytes) {
+        Err(PersistError::BadMagic { found }) => assert_eq!(&found, b"NOPE"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    // A random non-index file fails the same way.
+    match persist::load_index_from_bytes(b"this is not an index file at all") {
+        Err(PersistError::BadMagic { .. }) => {}
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsupported_future_version_is_rejected() {
+    let mut bytes = index_bytes();
+    for future in [2u32, 7, u32::MAX] {
+        bytes[4..8].copy_from_slice(&future.to_le_bytes());
+        match persist::load_index_from_bytes(&bytes) {
+            Err(PersistError::UnsupportedVersion { found }) => assert_eq!(found, future),
+            other => panic!("expected UnsupportedVersion({future}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_truncation_fails_closed() {
+    let bytes = index_bytes();
+    // Every prefix, including the empty file, must return a typed error —
+    // never panic, never produce an index.
+    for len in 0..bytes.len() {
+        assert!(
+            persist::load_index_from_bytes(&bytes[..len]).is_err(),
+            "prefix of {len}/{} bytes loaded successfully",
+            bytes.len()
+        );
+        assert!(persist::inspect_bytes(&bytes[..len]).is_err());
+    }
+    // And the untruncated file still loads (the sweep had no side effects).
+    assert!(persist::load_index_from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn a_bit_flip_in_each_section_is_caught_by_its_checksum() {
+    let bytes = updatable_bytes();
+    let info = persist::inspect_bytes(&bytes).unwrap();
+    assert_eq!(
+        info.sections.len(),
+        8,
+        "expected all eight v1 sections in an updatable file: {info}"
+    );
+    for section in &info.sections {
+        let mut corrupted = bytes.clone();
+        let target = section.offset + section.len / 2;
+        corrupted[target] ^= 0x10;
+        match persist::load_updatable_from_bytes(&corrupted) {
+            Err(PersistError::ChecksumMismatch { section: name }) => {
+                assert_eq!(name, section.name, "flip at byte {target}");
+            }
+            other => panic!(
+                "bit flip in section '{}' gave {other:?} instead of ChecksumMismatch",
+                section.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn bit_flips_anywhere_in_the_file_fail_closed() {
+    // Beyond the per-section flips above: flip a bit at every 7th byte of
+    // the whole file (header, payloads, table, footer — everything) and
+    // demand a typed error each time. No region of the file is unprotected.
+    let bytes = index_bytes();
+    for pos in (0..bytes.len()).step_by(7) {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= 0x04;
+        assert!(
+            persist::load_index_from_bytes(&corrupted).is_err(),
+            "bit flip at byte {pos}/{} went undetected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn table_and_footer_corruption_is_typed() {
+    let bytes = index_bytes();
+    // Flip inside the section table (between last payload and footer).
+    let info = persist::inspect_bytes(&bytes).unwrap();
+    let payload_end = info
+        .sections
+        .iter()
+        .map(|s| s.offset + s.len)
+        .max()
+        .unwrap();
+    let mut corrupted = bytes.clone();
+    corrupted[payload_end + 3] ^= 0x01;
+    match persist::load_index_from_bytes(&corrupted) {
+        Err(PersistError::Corrupt { .. }) => {}
+        other => panic!("table corruption gave {other:?}"),
+    }
+    // Destroy the trailer magic.
+    let mut corrupted = bytes.clone();
+    let n = corrupted.len();
+    corrupted[n - 1] ^= 0xFF;
+    match persist::load_index_from_bytes(&corrupted) {
+        Err(PersistError::Corrupt { what, .. }) => assert_eq!(what, "file footer"),
+        other => panic!("footer corruption gave {other:?}"),
+    }
+    // A section count pointing past the file.
+    let mut corrupted = bytes.clone();
+    let n = corrupted.len();
+    corrupted[n - 24..n - 16].copy_from_slice(&u64::MAX.to_le_bytes());
+    match persist::load_index_from_bytes(&corrupted) {
+        Err(PersistError::Corrupt { what, .. }) => assert_eq!(what, "section table"),
+        other => panic!("hostile section count gave {other:?}"),
+    }
+}
+
+#[test]
+fn missing_sections_are_reported_by_name() {
+    // A container holding only the meta section: structurally valid, but
+    // every loader must report the first section it cannot find.
+    let bytes = index_bytes();
+    let info = persist::inspect_bytes(&bytes).unwrap();
+    let meta = info
+        .sections
+        .iter()
+        .find(|s| s.name == "meta")
+        .expect("meta section");
+    let mut writer = SectionWriter::new(Vec::new()).unwrap();
+    writer
+        .write_section(
+            SectionKind::Meta,
+            &bytes[meta.offset..meta.offset + meta.len],
+        )
+        .unwrap();
+    let crafted = writer.finish().unwrap();
+    match persist::load_index_from_bytes(&crafted) {
+        Err(PersistError::MissingSection { section }) => assert_eq!(section, "ordering"),
+        other => panic!("expected MissingSection, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_sections_are_tolerated_within_a_version() {
+    // Forward compatibility inside v1: a file carrying an extra section
+    // with an unknown kind code still loads, and `inspect` lists it.
+    let bytes = index_bytes();
+    let info = persist::inspect_bytes(&bytes).unwrap();
+    let mut writer = SectionWriter::new(Vec::new()).unwrap();
+    for section in &info.sections {
+        writer
+            .write_raw_section(
+                section.code,
+                &bytes[section.offset..section.offset + section.len],
+            )
+            .unwrap();
+    }
+    writer
+        .write_raw_section(0xBEEF, b"from the future")
+        .unwrap();
+    let crafted = writer.finish().unwrap();
+
+    let crafted_info = persist::inspect_bytes(&crafted).unwrap();
+    assert_eq!(crafted_info.sections.len(), info.sections.len() + 1);
+    assert!(crafted_info.sections.iter().any(|s| s.name == "unknown"));
+
+    let original = persist::load_index_from_bytes(&bytes).unwrap();
+    let crafted = persist::load_index_from_bytes(&crafted).unwrap();
+    assert_eq!(
+        original.index().search(3, 5).unwrap(),
+        crafted.index().search(3, 5).unwrap()
+    );
+}
+
+/// Rebuild a container with one section's payload replaced (checksums are
+/// recomputed, so the result is "valid" — only the payload is hostile).
+fn rebuild_with_section(bytes: &[u8], target: &str, payload: &[u8]) -> Vec<u8> {
+    let info = persist::inspect_bytes(bytes).unwrap();
+    let mut writer = SectionWriter::new(Vec::new()).unwrap();
+    for s in &info.sections {
+        if s.name == target {
+            writer.write_raw_section(s.code, payload).unwrap();
+        } else {
+            writer
+                .write_raw_section(s.code, &bytes[s.offset..s.offset + s.len])
+                .unwrap();
+        }
+    }
+    writer.finish().unwrap()
+}
+
+#[test]
+fn hostile_counts_fail_closed_without_allocating() {
+    // Checksum-*valid* crafted payloads whose declared counts would demand
+    // allocations unrelated to the file size must be rejected by
+    // validation, not by the allocator.
+    use mogul_sparse::persist::put_usize;
+    let bytes = updatable_bytes();
+    let info = persist::inspect_bytes(&bytes).unwrap();
+
+    // Graph section declaring 2^60 nodes (isolated nodes carry no payload
+    // bytes, so only the cross-check against the meta item count stops it).
+    let graph = info.sections.iter().find(|s| s.name == "graph").unwrap();
+    let mut payload = bytes[graph.offset..graph.offset + graph.len].to_vec();
+    payload[..8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+    match persist::load_updatable_from_bytes(&rebuild_with_section(&bytes, "graph", &payload)) {
+        Err(PersistError::SectionDecode { section, .. }) => assert_eq!(section, "graph"),
+        other => panic!("hostile graph node count gave {other:?}"),
+    }
+
+    // Updatable section declaring a next-id counter of 2^60 (the id → node
+    // table is sized by it; the format caps it at persist::MAX_STABLE_IDS).
+    let updatable = info
+        .sections
+        .iter()
+        .find(|s| s.name == "updatable")
+        .unwrap();
+    let mut payload = bytes[updatable.offset..updatable.offset + updatable.len].to_vec();
+    // Layout: sigma, knn_k, max_support, fraction, 3 clustering fields,
+    // epoch (8 x 8 bytes), then next_id.
+    payload[64..72].copy_from_slice(&(1u64 << 60).to_le_bytes());
+    match persist::load_updatable_from_bytes(&rebuild_with_section(&bytes, "updatable", &payload)) {
+        Err(PersistError::SectionDecode { section, .. }) => assert_eq!(section, "updatable"),
+        other => panic!("hostile next-id counter gave {other:?}"),
+    }
+
+    // Bounds section whose border columns index past the score vector —
+    // accepted at load, this would panic inside a serving worker later.
+    let index_file = index_bytes();
+    let oos = persist::load_index_from_bytes(&index_file).unwrap();
+    let num_clusters = oos.index().ordering().num_clusters();
+    let n = oos.index().num_nodes();
+    let mut payload = Vec::new();
+    put_usize(&mut payload, num_clusters);
+    for _ in 0..num_clusters {
+        payload.extend_from_slice(&0.25f64.to_bits().to_le_bytes());
+        put_usize(&mut payload, 1);
+        put_usize(&mut payload, n + 3); // out of range
+        payload.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+    }
+    match persist::load_index_from_bytes(&rebuild_with_section(&index_file, "bounds", &payload)) {
+        Err(PersistError::SectionDecode { section, .. }) => assert_eq!(section, "bounds"),
+        other => panic!("out-of-range border column gave {other:?}"),
+    }
+}
+
+#[test]
+fn flavor_mismatches_are_typed_not_garbled() {
+    let index = index_bytes();
+    let updatable = updatable_bytes();
+    assert!(matches!(
+        persist::load_updatable_from_bytes(&index),
+        Err(PersistError::InvalidState(_))
+    ));
+    assert!(matches!(
+        persist::load_index_from_bytes(&updatable),
+        Err(PersistError::InvalidState(_))
+    ));
+    assert!(matches!(
+        persist::load_emr_from_bytes(&index),
+        Err(PersistError::InvalidState(_))
+    ));
+    // Both serveable flavors dispatch correctly through load_serving.
+    assert!(persist::load_serving_from_bytes(&index).is_ok());
+    assert!(persist::load_serving_from_bytes(&updatable).is_ok());
+}
+
+#[test]
+fn dirty_updatable_state_refuses_to_persist() {
+    let mut index = IndexBuilder::new()
+        .knn_k(3)
+        .rebuild_policy(RebuildPolicy::never())
+        .build(features())
+        .unwrap();
+    let mut delta = IndexDelta::new();
+    delta.insert(vec![0.4, 0.5, 0.1]);
+    index.apply(&delta).unwrap();
+    assert!(!index.snapshot().is_clean());
+    match persist::save_updatable_to(&index, Vec::new()) {
+        Err(PersistError::InvalidState(msg)) => assert!(msg.contains("rebuild")),
+        other => panic!("expected InvalidState, got {other:?}"),
+    }
+    // After an explicit rebuild the same state persists fine.
+    index.rebuild().unwrap();
+    assert!(persist::save_updatable_to(&index, Vec::new()).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture: format v1 compatibility pin
+// ---------------------------------------------------------------------------
+
+/// The committed golden fixture (written by `regenerate_golden_fixture`
+/// below). Every future build must keep loading this byte-for-byte file; an
+/// incompatible format change must bump `FORMAT_VERSION` and add a new
+/// fixture instead of breaking this one.
+const GOLDEN: &[u8] = include_bytes!("fixtures/golden_v1.mog1");
+
+/// The exact corpus the fixture was built from (kept for regeneration and
+/// for the equivalence assertion below).
+fn golden_index() -> mogul_core::update::UpdatableIndex {
+    let mut index = IndexBuilder::new()
+        .knn_k(3)
+        .rebuild_policy(RebuildPolicy::never())
+        .build(features())
+        .unwrap();
+    // One insert + one removal, then a rebuild: the fixture exercises the
+    // full updatable flavor (non-identity stable ids, advanced epoch).
+    let mut delta = IndexDelta::new();
+    delta.insert(vec![0.45, 0.3, 0.2]);
+    delta.remove(7);
+    index.apply(&delta).unwrap();
+    index.rebuild().unwrap();
+    index
+}
+
+/// Regenerate the golden fixture. Run manually after an *intentional*,
+/// version-bumped format change:
+/// `cargo test -p mogul-core --test persist_format -- --ignored regenerate`
+#[test]
+#[ignore = "writes the committed fixture; run only on intentional format changes"]
+fn regenerate_golden_fixture() {
+    let index = golden_index();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_v1.mog1");
+    persist::save_updatable(&index, path).unwrap();
+    eprintln!("wrote {path}");
+}
+
+#[test]
+fn golden_fixture_pins_format_v1() {
+    // Structure: version, flavor, counts.
+    let info = persist::inspect_bytes(GOLDEN).expect("golden fixture must stay loadable");
+    assert_eq!(info.version, 1, "golden fixture must remain format v1");
+    assert_eq!(info.flavor, FileFlavor::Updatable);
+    assert_eq!(info.items, 24);
+    assert_eq!(info.dim, 3);
+    let names: Vec<&str> = info.sections.iter().map(|s| s.name).collect();
+    assert_eq!(
+        names,
+        [
+            "meta",
+            "ordering",
+            "factors",
+            "bounds",
+            "features",
+            "stats",
+            "graph",
+            "updatable"
+        ],
+        "v1 section set changed — bump FORMAT_VERSION instead"
+    );
+
+    // Semantics: the fixture answers queries exactly like the index it was
+    // built from (the build is deterministic), including the stable-id
+    // remapping of the removed item 7 / appended item 24.
+    let loaded = persist::load_updatable_from_bytes(GOLDEN).unwrap();
+    let reference = golden_index();
+    assert_eq!(loaded.epoch(), reference.epoch());
+    let loaded_snap = loaded.snapshot();
+    let reference_snap = reference.snapshot();
+    assert_eq!(loaded_snap.item_ids(), reference_snap.item_ids());
+    assert!(!loaded_snap.contains(7), "removed id resurfaced");
+    assert!(loaded_snap.contains(24), "inserted id lost");
+    for id in loaded_snap.item_ids() {
+        assert_eq!(
+            loaded_snap.query_by_id(id, 5).unwrap(),
+            reference_snap.query_by_id(id, 5).unwrap(),
+            "golden fixture answers diverged at id {id}"
+        );
+    }
+}

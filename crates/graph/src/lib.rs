@@ -15,6 +15,8 @@
 //!   (used by the FMR baseline).
 //! * [`ordering`] — Algorithm 1: the node permutation that makes the
 //!   Incomplete Cholesky factor singly bordered block diagonal (Lemma 3).
+//! * [`persist`] — bit-exact (de)serialization of graphs and orderings for
+//!   the on-disk index format (`mogul-core::persist`).
 
 #![deny(missing_docs)]
 // Index-based loops mirror the adjacency/permutation arithmetic of the paper.
@@ -25,6 +27,7 @@ pub mod clustering;
 pub mod graph;
 pub mod knn;
 pub mod ordering;
+pub mod persist;
 
 pub use clustering::labels::Clustering;
 pub use graph::Graph;

@@ -1,0 +1,206 @@
+//! (De)serialization of the graph substrate for the on-disk index format.
+//!
+//! Two structures from this crate are persisted (see `mogul-core::persist`
+//! for the container format): the current adjacency state of a [`Graph`]
+//! (needed to resume incremental updates without re-running k-NN
+//! construction) and the [`NodeOrdering`] of Algorithm 1 (needed to
+//! reconstruct a search index without re-clustering).
+//!
+//! Both codecs follow the rules of [`mogul_sparse::persist`]: little-endian,
+//! length-prefixed, bit-exact for weights, never panicking on short or
+//! malformed input, and re-validating through the ordinary constructors
+//! ([`Graph::from_edges`], [`mogul_sparse::Permutation::from_new_to_old`]
+//! and [`NodeOrdering::validate`]) so a decoded structure satisfies exactly
+//! the invariants a freshly built one does.
+
+use crate::graph::Graph;
+use crate::ordering::{ClusterRange, NodeOrdering};
+use crate::Result;
+use mogul_sparse::persist::{
+    decode_permutation, encode_permutation, put_f64, put_usize, ByteReader,
+};
+use mogul_sparse::SparseError;
+
+/// Append a graph as `n` plus its undirected edge list (each edge stored
+/// once, `u < v`, weights bit-exact).
+pub fn encode_graph(graph: &Graph, out: &mut Vec<u8>) {
+    put_usize(out, graph.num_nodes());
+    put_usize(out, graph.num_edges());
+    for u in 0..graph.num_nodes() {
+        for &(v, w) in graph.neighbors(u) {
+            if v > u {
+                put_usize(out, u);
+                put_usize(out, v);
+                put_f64(out, w);
+            }
+        }
+    }
+}
+
+/// Decode a graph, re-validating every edge through [`Graph::add_edge`]
+/// (in-range endpoints, no self-loops, finite positive weights).
+///
+/// `max_nodes` bounds the declared node count **before** the adjacency
+/// table is allocated: isolated nodes carry no payload bytes, so unlike
+/// every other count in the codec the node count cannot be validated
+/// against the remaining payload — the caller must supply the bound it
+/// knows (e.g. the item count from its own metadata).
+pub fn decode_graph(reader: &mut ByteReader<'_>, what: &str, max_nodes: usize) -> Result<Graph> {
+    let n = reader.take_usize(what)?;
+    if n > max_nodes {
+        return Err(SparseError::InvalidInput(format!(
+            "{what}: graph declares {n} nodes but at most {max_nodes} are expected"
+        )));
+    }
+    let num_edges = reader.take_len(24, what)?;
+    let mut graph = Graph::empty(n);
+    for _ in 0..num_edges {
+        let u = reader.take_usize(what)?;
+        let v = reader.take_usize(what)?;
+        let w = reader.take_f64(what)?;
+        graph.add_edge(u, v, w)?;
+    }
+    if graph.num_edges() != num_edges {
+        return Err(SparseError::InvalidInput(format!(
+            "{what}: edge list contains duplicates ({num_edges} declared, {} distinct)",
+            graph.num_edges()
+        )));
+    }
+    Ok(graph)
+}
+
+/// Append a node ordering (permutation + cluster layout).
+pub fn encode_ordering(ordering: &NodeOrdering, out: &mut Vec<u8>) {
+    encode_permutation(&ordering.permutation, out);
+    put_usize(out, ordering.clusters.len());
+    for cluster in &ordering.clusters {
+        put_usize(out, cluster.start);
+        put_usize(out, cluster.len);
+    }
+}
+
+/// Decode a node ordering, re-validating that the clusters tile `0..n`
+/// contiguously and the permutation is a bijection.
+pub fn decode_ordering(reader: &mut ByteReader<'_>, what: &str) -> Result<NodeOrdering> {
+    let permutation = decode_permutation(reader, what)?;
+    let num_clusters = reader.take_len(16, what)?;
+    if num_clusters == 0 && !permutation.is_empty() {
+        return Err(SparseError::InvalidInput(format!(
+            "{what}: ordering over {} nodes declares zero clusters",
+            permutation.len()
+        )));
+    }
+    let mut clusters = Vec::with_capacity(num_clusters);
+    for _ in 0..num_clusters {
+        let start = reader.take_usize(what)?;
+        let len = reader.take_usize(what)?;
+        clusters.push(ClusterRange { start, len });
+    }
+    let ordering = NodeOrdering {
+        permutation,
+        clusters,
+    };
+    if !ordering.validate() {
+        return Err(SparseError::InvalidInput(format!(
+            "{what}: cluster ranges do not tile the permuted index space"
+        )));
+    }
+    Ok(ordering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::modularity::{modularity_clustering, ModularityConfig};
+    use crate::ordering::mogul_ordering;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::empty(9);
+        for base in [0usize, 3, 6] {
+            g.add_edge(base, base + 1, 1.0).unwrap();
+            g.add_edge(base + 1, base + 2, 0.5).unwrap();
+            g.add_edge(base, base + 2, 0.25).unwrap();
+        }
+        g.add_edge(2, 3, 0.0625).unwrap();
+        g.add_edge(5, 6, 0.03125).unwrap();
+        g
+    }
+
+    #[test]
+    fn graph_round_trip_is_exact() {
+        let g = sample_graph();
+        let mut bytes = Vec::new();
+        encode_graph(&g, &mut bytes);
+        let mut reader = ByteReader::new(&bytes);
+        let back = decode_graph(&mut reader, "graph", g.num_nodes()).unwrap();
+        reader.finish("graph").unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn isolated_nodes_survive() {
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 1, 2.0).unwrap();
+        let mut bytes = Vec::new();
+        encode_graph(&g, &mut bytes);
+        let back = decode_graph(&mut ByteReader::new(&bytes), "graph", 4).unwrap();
+        assert_eq!(back.num_nodes(), 4);
+        assert_eq!(back.degree(3), 0);
+    }
+
+    #[test]
+    fn ordering_round_trip_is_exact() {
+        let g = sample_graph();
+        let clustering = modularity_clustering(&g, &ModularityConfig::default());
+        let ordering = mogul_ordering(&g, &clustering).unwrap();
+        let mut bytes = Vec::new();
+        encode_ordering(&ordering, &mut bytes);
+        let mut reader = ByteReader::new(&bytes);
+        let back = decode_ordering(&mut reader, "ordering").unwrap();
+        reader.finish("ordering").unwrap();
+        assert_eq!(ordering, back);
+    }
+
+    #[test]
+    fn truncated_input_errors_for_both_codecs() {
+        let g = sample_graph();
+        let clustering = modularity_clustering(&g, &ModularityConfig::default());
+        let ordering = mogul_ordering(&g, &clustering).unwrap();
+        let mut graph_bytes = Vec::new();
+        encode_graph(&g, &mut graph_bytes);
+        let mut ordering_bytes = Vec::new();
+        encode_ordering(&ordering, &mut ordering_bytes);
+        for len in 0..graph_bytes.len() {
+            assert!(decode_graph(&mut ByteReader::new(&graph_bytes[..len]), "graph", 9).is_err());
+        }
+        for len in 0..ordering_bytes.len() {
+            assert!(
+                decode_ordering(&mut ByteReader::new(&ordering_bytes[..len]), "ordering").is_err()
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_node_counts_are_rejected_before_allocation() {
+        // A declared node count beyond the caller's bound must fail before
+        // the adjacency table is allocated.
+        let mut bytes = Vec::new();
+        put_usize(&mut bytes, 1 << 60);
+        put_usize(&mut bytes, 0);
+        assert!(decode_graph(&mut ByteReader::new(&bytes), "graph", 1 << 20).is_err());
+    }
+
+    #[test]
+    fn malformed_clusters_are_rejected() {
+        // A valid permutation whose cluster table leaves a gap.
+        let perm = crate::ordering::random_ordering(6, 2).permutation;
+        let mut bytes = Vec::new();
+        encode_permutation(&perm, &mut bytes);
+        put_usize(&mut bytes, 2);
+        put_usize(&mut bytes, 0); // cluster 0: start 0, len 2
+        put_usize(&mut bytes, 2);
+        put_usize(&mut bytes, 3); // cluster 1: start 3 (gap!), len 3
+        put_usize(&mut bytes, 3);
+        assert!(decode_ordering(&mut ByteReader::new(&bytes), "ordering").is_err());
+    }
+}

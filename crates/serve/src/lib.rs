@@ -31,6 +31,12 @@
 //!   epoch they started with — **zero downtime**, no query ever waits on a
 //!   writer.
 //! * [`ServeOptions`] — worker-count configuration.
+//! * **Cold start** — [`QueryServer::warm_start`] and
+//!   [`IndexWriter::warm_start`] reconstruct a serving index from a
+//!   checksummed `MOG1` file (see [`mogul_core::persist`] and
+//!   `docs/PERSISTENCE.md`) with no precompute, and
+//!   [`IndexWriter::set_checkpoint`] re-saves the index after every full
+//!   refactorization so restarts pick up from the last rebuild.
 //!
 //! Each worker owns a reusable
 //! [`SnapshotWorkspace`](mogul_core::update::SnapshotWorkspace), so after
@@ -53,6 +59,10 @@ mod updater;
 pub use request::{QueryRequest, QueryResponse, UpdateRequest};
 pub use server::{QueryServer, ServeOptions};
 pub use updater::IndexWriter;
+
+/// Re-export of the persistence error type surfaced by the warm-start and
+/// checkpointing entry points.
+pub use mogul_core::persist::PersistError;
 
 // The serving layer is sound only because every shared piece of query state
 // is immutable and thread-safe; keep that audited at compile time.

@@ -15,7 +15,7 @@
 
 use crate::request::{QueryRequest, QueryResponse};
 use mogul_core::update::{IndexSnapshot, SnapshotWorkspace};
-use mogul_core::{OutOfSampleIndex, OutOfSampleResult, Result, RetrievalEngine};
+use mogul_core::{OutOfSampleIndex, OutOfSampleResult, PersistError, Result, RetrievalEngine};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread;
@@ -175,6 +175,26 @@ impl QueryServer {
     /// Build a server by taking over a [`RetrievalEngine`]'s index.
     pub fn from_engine(engine: RetrievalEngine, options: ServeOptions) -> Self {
         QueryServer::new(Arc::new(engine.into_out_of_sample()), options)
+    }
+
+    /// Warm-start a server from an index file written by
+    /// [`mogul_core::persist`] — the cold-start path: the factorization,
+    /// ordering and pruning bounds are reconstructed directly from the file,
+    /// with **no precompute** (no k-NN construction, no clustering, no
+    /// factorization). Works for both serveable flavors: an `index` file
+    /// becomes an epoch-0 snapshot with identity ids; an `updatable` file
+    /// restores its persisted epoch and stable-id mapping, so item ids
+    /// handed out before the save keep resolving after the restart.
+    ///
+    /// Answers are bit-identical to a server over the index that was saved.
+    pub fn warm_start(
+        path: impl AsRef<std::path::Path>,
+        options: ServeOptions,
+    ) -> std::result::Result<Self, PersistError> {
+        Ok(QueryServer::from_snapshot(
+            mogul_core::persist::load_serving(path)?,
+            options,
+        ))
     }
 
     /// Build a server over an existing snapshot (e.g. the current epoch of

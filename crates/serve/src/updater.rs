@@ -21,8 +21,10 @@
 
 use crate::request::UpdateRequest;
 use crate::server::{QueryServer, ServeOptions};
+use mogul_core::persist::{self, PersistError};
 use mogul_core::update::{IndexDelta, RebuildDebt, UpdatableIndex, UpdateReport};
 use mogul_core::Result;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// The single-writer handle pairing an [`UpdatableIndex`] with the
@@ -48,6 +50,14 @@ use std::sync::{Arc, Mutex, PoisonError};
 pub struct IndexWriter {
     server: Arc<QueryServer>,
     inner: Mutex<UpdatableIndex>,
+    /// When set, the writer re-saves the index here after every full
+    /// refactorization (the only moment the state is clean and worth
+    /// persisting). See [`IndexWriter::set_checkpoint`].
+    checkpoint: Mutex<Option<PathBuf>>,
+    /// Outcome of the most recent automatic checkpoint attempt (auto
+    /// checkpoints are best-effort: a failed save must not fail the update
+    /// that triggered it, since the new snapshot is already live).
+    checkpoint_error: Mutex<Option<PersistError>>,
 }
 
 impl IndexWriter {
@@ -58,8 +68,107 @@ impl IndexWriter {
         let writer = IndexWriter {
             server: Arc::clone(&server),
             inner: Mutex::new(index),
+            checkpoint: Mutex::new(None),
+            checkpoint_error: Mutex::new(None),
         };
         (server, writer)
+    }
+
+    /// Warm-start from an updatable-index file written by
+    /// [`mogul_core::persist::save_updatable`] (or by this writer's own
+    /// checkpointing): the graph, factors, stable ids and epoch are
+    /// reconstructed with no precompute, and the same path is installed as
+    /// the checkpoint target so later rebuilds keep refreshing it.
+    pub fn warm_start(
+        path: impl AsRef<Path>,
+        options: ServeOptions,
+    ) -> std::result::Result<(Arc<QueryServer>, IndexWriter), PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let index = persist::load_updatable(&path)?;
+        let (server, writer) = IndexWriter::new(index, options);
+        writer.set_checkpoint(Some(path));
+        Ok((server, writer))
+    }
+
+    /// Configure (or, with `None`, disable) the checkpoint file.
+    ///
+    /// While configured, every apply that ends in a full refactorization —
+    /// whether triggered by the rebuild-debt policy or by
+    /// [`IndexWriter::rebuild`] — re-saves the fresh clean epoch to this
+    /// path, so a crashed process can [`IndexWriter::warm_start`] from a
+    /// state at most one rebuild interval old. Saves are atomic
+    /// (write-to-temp + rename): the checkpoint file always holds a
+    /// complete, checksummed index.
+    ///
+    /// Automatic checkpoints are best-effort; a failed save is recorded and
+    /// reported by [`IndexWriter::take_checkpoint_error`] instead of failing
+    /// the update (the new snapshot is already serving at that point).
+    pub fn set_checkpoint(&self, path: Option<PathBuf>) {
+        *self
+            .checkpoint
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = path;
+    }
+
+    /// The configured checkpoint file, if any.
+    pub fn checkpoint_path(&self) -> Option<PathBuf> {
+        self.checkpoint
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The error of the most recent failed automatic checkpoint, if any
+    /// (clears on read; successful checkpoints also clear it).
+    pub fn take_checkpoint_error(&self) -> Option<PersistError> {
+        self.checkpoint_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    /// Checkpoint the current state to the configured path right now,
+    /// forcing a full refactorization first if the state carries correction
+    /// debt (only a clean epoch can be persisted). Returns the path written.
+    pub fn checkpoint_now(&self) -> std::result::Result<PathBuf, PersistError> {
+        let path = self.checkpoint_path().ok_or_else(|| {
+            PersistError::InvalidState(
+                "no checkpoint path is configured; call set_checkpoint first".into(),
+            )
+        })?;
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if !inner.snapshot().is_clean() {
+            inner.rebuild().map_err(|e| {
+                PersistError::InvalidState(format!("refactorization before checkpoint failed: {e}"))
+            })?;
+            self.server.install_snapshot(inner.snapshot());
+        }
+        persist::save_updatable(&inner, &path)?;
+        // The checkpoint on disk is now fresh; clear any stale auto-
+        // checkpoint failure so monitoring does not keep reporting it.
+        *self
+            .checkpoint_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        Ok(path)
+    }
+
+    /// Best-effort auto-checkpoint after a rebuild. Both callers hold the
+    /// `inner` writer mutex across this call (never re-lock it here; note
+    /// that the fsync'd save extends the writer critical section — blocking
+    /// later updates, not queries — for the duration of the write).
+    fn maybe_checkpoint(&self, inner: &UpdatableIndex, report: &UpdateReport) {
+        if !report.rebuilt {
+            return;
+        }
+        let Some(path) = self.checkpoint_path() else {
+            return;
+        };
+        let outcome = persist::save_updatable(inner, &path).err();
+        *self
+            .checkpoint_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = outcome;
     }
 
     /// The server this writer publishes to.
@@ -85,20 +194,25 @@ impl IndexWriter {
     }
 
     /// Apply an already-staged [`IndexDelta`] and publish the resulting
-    /// snapshot epoch.
+    /// snapshot epoch. If the apply ended in a full refactorization and a
+    /// checkpoint path is configured, the fresh clean epoch is re-saved to
+    /// it (best-effort; see [`IndexWriter::set_checkpoint`]).
     pub fn apply_delta(&self, delta: &IndexDelta) -> Result<UpdateReport> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let report = inner.apply(delta)?;
         self.server.install_snapshot(inner.snapshot());
+        self.maybe_checkpoint(&inner, &report);
         Ok(report)
     }
 
     /// Force a full refactorization now (debt back to zero) and publish it.
-    /// Queries keep answering from the previous epoch while this runs.
+    /// Queries keep answering from the previous epoch while this runs. The
+    /// fresh epoch is checkpointed if a path is configured.
     pub fn rebuild(&self) -> Result<UpdateReport> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let report = inner.rebuild()?;
         self.server.install_snapshot(inner.snapshot());
+        self.maybe_checkpoint(&inner, &report);
         Ok(report)
     }
 

@@ -28,6 +28,9 @@
 //!   kernel used by incremental index updates (`mogul-core::update`).
 //! * [`dense`] — dense matrices with LU decomposition and inversion, used by
 //!   the `O(n³)` Inverse baseline and for verification in tests.
+//! * [`persist`] — the byte-level codec of the on-disk index format: bit-exact
+//!   `f64`/CSR/permutation/`L D Lᵀ`-factor (de)serialization plus the FNV-1a
+//!   section checksum (the container lives in `mogul-core::persist`).
 //!
 //! All numerics use `f64`. The crate has no third-party dependencies.
 
@@ -45,6 +48,7 @@ pub mod ichol;
 pub mod ldl;
 pub mod lowrank;
 pub mod permutation;
+pub mod persist;
 pub mod stats;
 pub mod triangular;
 pub mod vector;

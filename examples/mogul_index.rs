@@ -1,0 +1,222 @@
+//! `mogul_index` — save, load and inspect persistent index files (the
+//! `MOG1` format of `mogul_core::persist`; see `docs/PERSISTENCE.md`).
+//!
+//! ```text
+//! cargo run --release --example mogul_index                       # self-contained demo
+//! cargo run --release --example mogul_index -- save <path> [--items N] [--dim D] [--knn K] [--exact] [--immutable]
+//! cargo run --release --example mogul_index -- inspect <path>
+//! cargo run --release --example mogul_index -- load <path> [--query ID] [--k K]
+//! ```
+//!
+//! * `save` builds an index over a deterministic synthetic corpus and writes
+//!   it (an updatable index by default; `--immutable` writes the plain
+//!   serving flavor).
+//! * `inspect` validates every checksum and prints the section table.
+//! * `load` cold-starts a `QueryServer` from the file — no k-NN
+//!   construction, no clustering, no factorization — runs a query, and
+//!   reports the load time.
+//!
+//! With no arguments the demo performs the whole cycle (save → inspect →
+//! load → query → compare against the in-memory index) in `target/`, which
+//! is also what the CI persistence smoke job runs.
+
+use mogul_suite::core::persist;
+use mogul_suite::core::update::IndexBuilder;
+use mogul_suite::data::web::{web_like, WebLikeConfig};
+use mogul_suite::serve::{QueryServer, ServeOptions};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct SaveOptions {
+    items: usize,
+    dim: usize,
+    knn: usize,
+    exact: bool,
+    immutable: bool,
+}
+
+impl Default for SaveOptions {
+    fn default() -> Self {
+        SaveOptions {
+            items: 2_000,
+            dim: 16,
+            knn: 5,
+            exact: false,
+            immutable: false,
+        }
+    }
+}
+
+fn corpus(items: usize, dim: usize) -> Vec<Vec<f64>> {
+    web_like(&WebLikeConfig {
+        num_points: items,
+        num_topics: (items / 100).max(4),
+        dim,
+        background_fraction: 0.2,
+        ..Default::default()
+    })
+    .expect("generate corpus")
+    .features()
+    .to_vec()
+}
+
+fn save(path: &Path, options: &SaveOptions) {
+    println!(
+        "building a {}-item, {}-dim {} index (knn = {}) ...",
+        options.items,
+        options.dim,
+        if options.exact {
+            "MogulE (complete LDL^T)"
+        } else {
+            "Mogul (incomplete LDL^T)"
+        },
+        options.knn
+    );
+    let features = corpus(options.items, options.dim);
+    let start = Instant::now();
+    let mut builder = IndexBuilder::new().knn_k(options.knn);
+    if options.exact {
+        builder = builder.exact_ranking();
+    }
+    let index = builder.build(features).expect("build index");
+    let precompute_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    if options.immutable {
+        persist::save_index(index.snapshot().base(), path).expect("save index");
+    } else {
+        persist::save_updatable(&index, path).expect("save index");
+    }
+    let save_secs = start.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "precompute {precompute_secs:.2} s, save {save_secs:.3} s, {bytes} bytes -> {}",
+        path.display()
+    );
+}
+
+fn inspect(path: &Path) {
+    let info = persist::inspect(path).expect("inspect index file");
+    print!("{info}");
+}
+
+fn load(path: &Path, query: usize, k: usize) -> f64 {
+    let start = Instant::now();
+    let server =
+        QueryServer::warm_start(path, ServeOptions::with_workers(1)).expect("warm-start server");
+    let load_secs = start.elapsed().as_secs_f64();
+    println!(
+        "cold start: {} items ready in {:.4} s (epoch {}, no precompute)",
+        server.len(),
+        load_secs,
+        server.epoch()
+    );
+    let top = server.query_by_id(query, k).expect("query");
+    println!("top-{k} for item {query}:");
+    for item in top.items() {
+        println!("  item {:>6}  score {:.6}", item.node, item.score);
+    }
+    load_secs
+}
+
+fn demo() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("target");
+    std::fs::create_dir_all(&dir).expect("create target dir");
+    let path = dir.join("mogul_index_demo.mog1");
+    let options = SaveOptions {
+        items: 1_500,
+        ..SaveOptions::default()
+    };
+
+    println!("== save ==");
+    let features = corpus(options.items, options.dim);
+    let precompute_start = Instant::now();
+    let index = IndexBuilder::new()
+        .knn_k(options.knn)
+        .build(features)
+        .expect("build index");
+    let precompute_secs = precompute_start.elapsed().as_secs_f64();
+    persist::save_updatable(&index, &path).expect("save index");
+    println!(
+        "precompute {:.2} s, wrote {} bytes -> {}",
+        precompute_secs,
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        path.display()
+    );
+
+    println!("\n== inspect ==");
+    inspect(&path);
+
+    println!("\n== load ==");
+    let load_secs = load(&path, 3, 5);
+
+    // The loaded index answers exactly like the one still in memory.
+    let server = QueryServer::warm_start(&path, ServeOptions::with_workers(1)).expect("load");
+    let snapshot = index.snapshot();
+    for id in [0usize, 3, 700, 1_499] {
+        let a = snapshot.query_by_id(id, 5).expect("in-memory query");
+        let b = server.query_by_id(id, 5).expect("cold-start query");
+        assert_eq!(a, b, "cold-start answers diverged at id {id}");
+    }
+    println!(
+        "\nverified: cold-start answers are identical to the in-memory index \
+         ({:.0}x faster than precompute: {:.4} s vs {:.2} s)",
+        precompute_secs / load_secs.max(1e-9),
+        load_secs,
+        precompute_secs
+    );
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mogul_index [save <path> [--items N] [--dim D] [--knn K] [--exact] [--immutable]\n\
+         \x20                | inspect <path>\n\
+         \x20                | load <path> [--query ID] [--k K]]\n\
+         with no arguments: run the self-contained demo"
+    );
+    std::process::exit(2)
+}
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        demo();
+        return;
+    }
+    let path = PathBuf::from(args.get(1).cloned().unwrap_or_else(|| usage()));
+    match args[0].as_str() {
+        "save" => {
+            let defaults = SaveOptions::default();
+            save(
+                &path,
+                &SaveOptions {
+                    items: parse_flag(&args, "--items", defaults.items),
+                    dim: parse_flag(&args, "--dim", defaults.dim),
+                    knn: parse_flag(&args, "--knn", defaults.knn),
+                    exact: args.iter().any(|a| a == "--exact"),
+                    immutable: args.iter().any(|a| a == "--immutable"),
+                },
+            );
+        }
+        "inspect" => inspect(&path),
+        "load" => {
+            load(
+                &path,
+                parse_flag(&args, "--query", 0),
+                parse_flag(&args, "--k", 5),
+            );
+        }
+        _ => usage(),
+    }
+}

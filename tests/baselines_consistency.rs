@@ -4,7 +4,7 @@
 
 use mogul_suite::core::{
     EmrConfig, EmrSolver, FmrConfig, FmrSolver, InverseSolver, IterativeConfig, IterativeSolver,
-    MogulConfig, MogulIndex, MrParams, Ranker,
+    MogulConfig, MogulIndex, MrParams, OosWorkspace, Ranker, SearchMode, SearchWorkspace,
 };
 use mogul_suite::data::coil::{coil_like, CoilLikeConfig};
 use mogul_suite::eval::metrics::{mean, precision_at_k};
@@ -134,6 +134,79 @@ fn fmr_is_exact_when_the_partition_has_no_cross_edges() {
         let a = fmr.scores(q).unwrap();
         let b = inverse.scores(q).unwrap();
         assert!(mogul_suite::sparse::vector::max_abs_diff(&a, &b).unwrap() < 1e-8);
+    }
+}
+
+#[test]
+fn workspace_entry_points_match_allocating_paths_at_the_workspace_tier() {
+    // The `*_in` variants (caller-owned scratch, zero hot-path allocations)
+    // promise bit-identical results to the allocating paths. The per-crate
+    // tests pin this at the unit level; this test pins it at the workspace
+    // tier, across one long-lived workspace reused over every call — the
+    // exact shape a serving loop uses.
+    let data = coil_dataset();
+    let features = data.features().to_vec();
+    let graph = knn_graph(data.features(), KnnConfig::with_k(5)).unwrap();
+    let params = MrParams::default();
+
+    for config in [MogulConfig::default(), MogulConfig::exact()] {
+        let index = MogulIndex::build(&graph, MogulConfig { params, ..config }).unwrap();
+        let mut ws = SearchWorkspace::new();
+        for q in [0usize, 57, 140] {
+            assert_eq!(
+                index.search(q, 6).unwrap(),
+                index.search_in(&mut ws, q, 6).unwrap()
+            );
+            for mode in [
+                SearchMode::Pruned,
+                SearchMode::NoPruning,
+                SearchMode::FullSubstitution,
+            ] {
+                assert_eq!(
+                    index.search_with_stats(q, 6, mode).unwrap(),
+                    index.search_with_stats_in(&mut ws, q, 6, mode).unwrap()
+                );
+            }
+            let allocating = index.all_scores(q).unwrap();
+            let reused = index.all_scores_in(&mut ws, q).unwrap();
+            assert!(
+                allocating
+                    .iter()
+                    .zip(reused.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "all_scores_in diverged for query {q}"
+            );
+        }
+        let weights = vec![(3usize, 0.5), (80, 0.3), (159, 0.2)];
+        assert_eq!(
+            index
+                .search_weighted(&weights, 5, SearchMode::Pruned)
+                .unwrap(),
+            index
+                .search_weighted_in(&mut ws, &weights, 5, SearchMode::Pruned)
+                .unwrap()
+        );
+    }
+
+    // The engine-level `_in` entry points, through the same reused scratch.
+    let engine = mogul_suite::core::RetrievalEngine::builder()
+        .knn_k(5)
+        .build(features)
+        .unwrap();
+    let mut search_ws = SearchWorkspace::new();
+    let mut oos_ws = OosWorkspace::new();
+    for q in [2usize, 77] {
+        assert_eq!(
+            engine.query_by_id(q, 5).unwrap(),
+            engine.query_by_id_in(&mut search_ws, q, 5).unwrap()
+        );
+    }
+    for probe in [data.feature(9), data.feature(123)] {
+        let allocating = engine.query_by_feature(probe, 5).unwrap();
+        let reused = engine.query_by_feature_in(&mut oos_ws, probe, 5).unwrap();
+        assert_eq!(allocating.top_k, reused.top_k);
+        assert_eq!(allocating.neighbors, reused.neighbors);
+        assert_eq!(allocating.stats, reused.stats);
     }
 }
 
