@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mogul_core::{OutOfSampleIndex, RetrievalEngine};
 use mogul_data::sift::{sift_like, SiftLikeConfig};
-use mogul_serve::{QueryRequest, QueryServer, ServeOptions};
+use mogul_serve::{Dispatch, QueryRequest, QueryServer, ServeOptions};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -102,7 +102,11 @@ fn bench_serving(c: &mut Criterion) {
     for (label, options) in [
         (
             "dispatch_scalar_b32",
-            ServeOptions::with_workers(1).scalar_dispatch(),
+            ServeOptions::builder()
+                .workers(1)
+                .dispatch(Dispatch::Scalar)
+                .build()
+                .expect("valid options"),
         ),
         ("dispatch_panel_b32", ServeOptions::with_workers(1)),
     ] {

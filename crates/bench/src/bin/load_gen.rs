@@ -1,0 +1,309 @@
+//! Socket-level load generator for the network front door: drives a running
+//! `serve_net` (or any `MGW1` server) with closed- and open-loop load and
+//! merges the measured saturation rows into `BENCH_query.json`.
+//!
+//! ```text
+//! cargo run --release -p mogul-bench --bin load_gen -- --addr HOST:PORT [options]
+//!   --smoke     short run: closed-loop only, asserts zero shed at trivial
+//!               load, writes target/BENCH_query.net.smoke.json
+//!   --drain     send a drain request when done (shuts the server down)
+//! ```
+//!
+//! Scenarios (rows are merged into the baseline file by name, alongside the
+//! in-process rows written by `perf_baseline`):
+//!
+//! * `net_closed_c{1,2,4}` — closed loop: N connections, each issuing one
+//!   in-database query at a time. Measures the latency floor and how it
+//!   scales with concurrency; `p50_us`/`p95_us` are per-query round trips.
+//! * `net_open_half` — open loop at ~0.5x the closed-loop capacity: the
+//!   healthy regime; sheds must be zero.
+//! * `net_open_10x` — open loop at ~10x capacity: the overload regime; the
+//!   server must keep answering at its capacity and shed the excess with
+//!   typed `Overloaded` frames (the row records the *successful* completions;
+//!   shed counts go to stderr and are asserted > 0).
+//!
+//! The generator never panics on a shed — typed `Overloaded`/`Draining`
+//! responses are part of the contract being measured.
+
+use mogul_bench::baseline::{
+    merge_rows, parse_scenarios, percentile_us, render_json, validate_json, ScenarioRow,
+};
+use mogul_serve::net::NetClient;
+use mogul_serve::{QueryRequest, ServeError};
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    smoke: bool,
+    drain: bool,
+}
+
+fn parse_args() -> Args {
+    let mut addr = None;
+    let mut smoke = false;
+    let mut drain = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = argv.get(i).cloned();
+            }
+            "--smoke" => smoke = true,
+            "--drain" => drain = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let addr = addr.unwrap_or_else(|| {
+        eprintln!("usage: load_gen --addr HOST:PORT [--smoke] [--drain]");
+        std::process::exit(2);
+    });
+    Args { addr, smoke, drain }
+}
+
+fn connect(addr: &str) -> NetClient {
+    let client = NetClient::connect(addr).unwrap_or_else(|err| {
+        eprintln!("cannot connect to {addr}: {err}");
+        std::process::exit(1);
+    });
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set read timeout");
+    client
+}
+
+/// Closed loop: `conns` connections, each issuing one query at a time for
+/// `duration`. Returns (latencies in seconds, completed queries).
+fn closed_loop(addr: &str, items: usize, conns: usize, duration: Duration) -> (Vec<f64>, usize) {
+    let deadline = Instant::now() + duration;
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut client = connect(&addr);
+                let mut latencies = Vec::new();
+                let mut i = c; // interleave the id space across connections
+                while Instant::now() < deadline {
+                    let request = QueryRequest::in_database(i % items, 10);
+                    let start = Instant::now();
+                    match client.query(&request) {
+                        Ok(response) => {
+                            assert_eq!(response.top_k().len(), 10);
+                            latencies.push(start.elapsed().as_secs_f64());
+                        }
+                        Err(err) => panic!("closed-loop query failed: {err}"),
+                    }
+                    i += 131;
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for handle in handles {
+        all.extend(handle.join().expect("closed-loop worker panicked"));
+    }
+    let completed = all.len();
+    (all, completed)
+}
+
+/// Open loop: send at a fixed rate regardless of completions (one pipelined
+/// connection; a reader thread drains responses concurrently). Returns
+/// (latencies of successful queries, completed, shed).
+fn open_loop(
+    addr: &str,
+    items: usize,
+    rate_qps: f64,
+    duration: Duration,
+) -> (Vec<f64>, usize, usize) {
+    let sender = connect(addr);
+    let receiver = sender.try_clone().expect("clone socket");
+    let mut sender = sender;
+    let total = (rate_qps * duration.as_secs_f64()).max(1.0) as usize;
+
+    // Responses on a pipelined connection may complete out of order (the
+    // worker pool races); pair each response with its send time by request
+    // id, fed through a channel alongside the sends.
+    let (times_tx, times_rx) = std::sync::mpsc::channel::<(u64, Instant)>();
+    let reader = std::thread::spawn(move || {
+        let mut receiver = receiver;
+        let mut pending: std::collections::HashMap<u64, Instant> = std::collections::HashMap::new();
+        let mut latencies = Vec::new();
+        let mut completed = 0usize;
+        let mut shed = 0usize;
+        for _ in 0..total {
+            let (id, answer) = receiver.recv_answer().expect("open-loop response missing");
+            let sent_at = loop {
+                if let Some(at) = pending.remove(&id) {
+                    break at;
+                }
+                // The response can only arrive after its send, so the time
+                // is either already here or one channel recv away.
+                let (got, at) = times_rx.recv().expect("send-time channel closed early");
+                pending.insert(got, at);
+            };
+            match answer {
+                Ok(_) => {
+                    latencies.push(sent_at.elapsed().as_secs_f64());
+                    completed += 1;
+                }
+                Err(ServeError::Overloaded { .. }) | Err(ServeError::Draining) => shed += 1,
+                Err(other) => panic!("unexpected open-loop rejection: {other}"),
+            }
+        }
+        (latencies, completed, shed)
+    });
+
+    let interval = Duration::from_secs_f64(1.0 / rate_qps);
+    let started = Instant::now();
+    for i in 0..total {
+        let target = started + interval.mul_f64(i as f64);
+        if let Some(wait) = target.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let sent_at = Instant::now();
+        let id = sender
+            .send_query(&QueryRequest::in_database((i * 131) % items, 10))
+            .expect("open-loop send failed");
+        times_tx.send((id, sent_at)).expect("reader hung up");
+    }
+    drop(times_tx);
+    reader.join().expect("open-loop reader panicked")
+}
+
+fn row(name: &str, latencies: &[f64], completed: usize, wall: Duration) -> ScenarioRow {
+    ScenarioRow {
+        name: name.to_string(),
+        p50_us: percentile_us(latencies, 0.50),
+        p95_us: percentile_us(latencies, 0.95),
+        qps: completed as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The corpus size comes from the server itself.
+    let mut control = connect(&args.addr);
+    let before = control.stats().unwrap_or_else(|err| {
+        eprintln!("stats request failed: {err}");
+        std::process::exit(1);
+    });
+    let items = before.items as usize;
+    assert!(items > 0, "server reports an empty corpus");
+    eprintln!(
+        "load_gen: target {} — {} items, epoch {}, queue bound {}",
+        args.addr, items, before.epoch, before.queue_capacity
+    );
+
+    let duration = if args.smoke {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(3)
+    };
+    let mut rows: Vec<ScenarioRow> = Vec::new();
+
+    // -- closed loop -------------------------------------------------------
+    let concurrencies: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4] };
+    let mut capacity_qps = 0.0f64;
+    for &c in concurrencies {
+        let started = Instant::now();
+        let (latencies, completed) = closed_loop(&args.addr, items, c, duration);
+        let wall = started.elapsed();
+        let r = row(&format!("net_closed_c{c}"), &latencies, completed, wall);
+        eprintln!(
+            "  {:<16} p50 {:>9.1} us   p95 {:>9.1} us   {:>9.0} q/s",
+            r.name, r.p50_us, r.p95_us, r.qps
+        );
+        capacity_qps = capacity_qps.max(r.qps);
+        rows.push(r);
+    }
+    assert!(capacity_qps > 0.0, "closed loop completed no queries");
+
+    // -- open loop (full runs only: the smoke gate wants zero shed) --------
+    if !args.smoke {
+        for (name, factor) in [("net_open_half", 0.5f64), ("net_open_10x", 10.0)] {
+            let rate = (capacity_qps * factor).max(10.0);
+            let started = Instant::now();
+            let (latencies, completed, shed) = open_loop(&args.addr, items, rate, duration);
+            let wall = started.elapsed();
+            let r = row(name, &latencies, completed, wall);
+            eprintln!(
+                "  {:<16} p50 {:>9.1} us   p95 {:>9.1} us   {:>9.0} q/s   offered {:>9.0} q/s   shed {}",
+                r.name, r.p50_us, r.p95_us, r.qps, rate, shed
+            );
+            if factor < 1.0 {
+                assert_eq!(shed, 0, "the healthy open-loop regime must not shed");
+            } else {
+                assert!(
+                    shed > 0,
+                    "a {factor}x overload against a bounded queue must shed"
+                );
+                assert!(completed > 0, "overload must not starve admitted work");
+            }
+            rows.push(r);
+        }
+    }
+
+    // -- server-side accounting --------------------------------------------
+    let after = control.stats().expect("final stats request failed");
+    eprintln!(
+        "  server: completed {}  shed_overloaded {}  shed_draining {}  bad_requests {}  queue {}/{}",
+        after.completed,
+        after.shed_overloaded,
+        after.shed_draining,
+        after.bad_requests,
+        after.queue_depth,
+        after.queue_capacity
+    );
+    assert!(after.completed >= before.completed + rows[0].qps as u64 / 10);
+    assert_eq!(
+        after.bad_requests, before.bad_requests,
+        "load_gen sent only valid requests"
+    );
+    if args.smoke {
+        assert_eq!(
+            after.shed_overloaded, before.shed_overloaded,
+            "smoke gate: trivial load must not shed"
+        );
+    }
+
+    // -- write the baseline rows -------------------------------------------
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = if args.smoke {
+        let dir = root.join("target");
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        dir.join("BENCH_query.net.smoke.json")
+    } else {
+        root.join("BENCH_query.json")
+    };
+    let merged = match std::fs::read_to_string(&path) {
+        Ok(existing) => merge_rows(&parse_scenarios(&existing).unwrap_or_default(), &rows),
+        Err(_) => rows.clone(),
+    };
+    let json = render_json(&merged, args.smoke);
+    validate_json(&json).expect("load_gen emitted invalid JSON");
+    std::fs::write(&path, &json).expect("write baseline file");
+    let reread = std::fs::read_to_string(&path).expect("re-read baseline file");
+    let landed = parse_scenarios(&reread).expect("baseline file on disk is invalid");
+    for r in &rows {
+        assert!(
+            landed.iter().any(|l| l.name == r.name && l.qps > 0.0),
+            "row {} missing from the baseline file",
+            r.name
+        );
+    }
+    eprintln!("wrote {}", path.display());
+
+    if args.drain {
+        control.drain_server().expect("drain request failed");
+        eprintln!("load_gen: server drain acknowledged");
+    }
+}

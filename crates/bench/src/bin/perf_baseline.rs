@@ -32,6 +32,9 @@
 //!
 //! See `docs/PERFORMANCE.md` for how to read and refresh the file.
 
+use mogul_bench::baseline::{
+    merge_rows, parse_scenarios, percentile_us, render_json, validate_json, ScenarioRow,
+};
 use mogul_core::persist;
 use mogul_core::update::{IndexBuilder, IndexDelta, RebuildPolicy};
 use mogul_core::{
@@ -40,7 +43,7 @@ use mogul_core::{
 };
 use mogul_data::web::{web_like, WebLikeConfig};
 use mogul_graph::knn::{knn_graph, KnnConfig};
-use mogul_serve::{QueryRequest, QueryServer, ServeOptions};
+use mogul_serve::{Dispatch, QueryRequest, QueryServer, ServeOptions};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -66,13 +69,14 @@ impl ScenarioResult {
         let total: f64 = self.latencies.iter().sum();
         (self.latencies.len() * self.queries_per_iter) as f64 / total.max(1e-12)
     }
-}
-
-fn percentile_us(latencies: &[f64], q: f64) -> f64 {
-    let mut sorted = latencies.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[idx] * 1e6
+    fn row(&self) -> ScenarioRow {
+        ScenarioRow {
+            name: self.name.to_string(),
+            p50_us: self.p50_us(),
+            p95_us: self.p95_us(),
+            qps: self.qps(),
+        }
+    }
 }
 
 /// Time `rounds` repetitions of `iter`, recording one latency per call.
@@ -234,7 +238,11 @@ fn main() {
     }
     let scalar_server = QueryServer::new(
         Arc::clone(&oos),
-        ServeOptions::with_workers(1).scalar_dispatch(),
+        ServeOptions::builder()
+            .workers(1)
+            .dispatch(Dispatch::Scalar)
+            .build()
+            .expect("valid options"),
     );
     let panel_server = QueryServer::new(Arc::clone(&oos), ServeOptions::with_workers(1));
     for server in [&scalar_server, &panel_server] {
@@ -382,8 +390,7 @@ fn main() {
         );
     }
 
-    let json = render_json(&results, smoke);
-    validate_json(&json).expect("perf_baseline emitted invalid JSON");
+    let fresh: Vec<ScenarioRow> = results.iter().map(ScenarioResult::row).collect();
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..");
@@ -394,171 +401,23 @@ fn main() {
     } else {
         root.join("BENCH_query.json")
     };
+    // Merge into the existing trajectory point so the net_* rows written by
+    // `load_gen` survive a perf_baseline refresh (and vice versa).
+    let merged = match std::fs::read_to_string(&path) {
+        Ok(existing) => merge_rows(&parse_scenarios(&existing).unwrap_or_default(), &fresh),
+        Err(_) => fresh,
+    };
+    let json = render_json(&merged, smoke);
+    validate_json(&json).expect("perf_baseline emitted invalid JSON");
     std::fs::write(&path, &json).expect("write baseline file");
     // Round-trip what actually landed on disk.
     let reread = std::fs::read_to_string(&path).expect("re-read baseline file");
     validate_json(&reread).expect("baseline file on disk is invalid JSON");
+    assert!(
+        !parse_scenarios(&reread)
+            .expect("baseline file must parse")
+            .is_empty(),
+        "baseline file lost its scenario rows"
+    );
     eprintln!("wrote {}", path.display());
-}
-
-// ---------------------------------------------------------------------------
-// JSON out (hand-rolled: the workspace deliberately has no third-party deps)
-// ---------------------------------------------------------------------------
-
-fn render_json(results: &[ScenarioResult], smoke: bool) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
-    out.push_str(&format!("  \"date\": \"{}\",\n", today_utc()));
-    out.push_str(&format!("  \"smoke\": {smoke},\n"));
-    out.push_str("  \"scenarios\": {\n");
-    for (i, result) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    \"{}\": {{ \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"qps\": {:.1} }}{}\n",
-            result.name,
-            result.p50_us(),
-            result.p95_us(),
-            result.qps(),
-            if i + 1 < results.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  }\n}\n");
-    out
-}
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric()))
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
-/// Civil date from the Unix timestamp (Howard Hinnant's days-to-civil
-/// algorithm) — no chrono in this workspace.
-fn today_utc() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs() as i64)
-        .unwrap_or(0);
-    let days = secs.div_euclid(86_400);
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let year = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let day = doy - (153 * mp + 2) / 5 + 1;
-    let month = if mp < 10 { mp + 3 } else { mp - 9 };
-    let year = if month <= 2 { year + 1 } else { year };
-    format!("{year:04}-{month:02}-{day:02}")
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON validator (objects, strings, numbers, booleans) — enough to
-// assert the baseline file is well-formed without a serde dependency.
-// ---------------------------------------------------------------------------
-
-fn validate_json(input: &str) -> Result<(), String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing garbage at byte {pos}"));
-    }
-    Ok(())
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, "true"),
-        Some(b'f') => parse_literal(bytes, pos, "false"),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
-        other => Err(format!("unexpected token {other:?} at byte {pos}")),
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // '{'
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        skip_ws(bytes, pos);
-        parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b':') {
-            return Err(format!("expected ':' at byte {pos}"));
-        }
-        *pos += 1;
-        parse_value(bytes, pos)?;
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(());
-            }
-            other => return Err(format!("expected ',' or '}}', got {other:?} at byte {pos}")),
-        }
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    while let Some(&c) = bytes.get(*pos) {
-        *pos += 1;
-        match c {
-            b'"' => return Ok(()),
-            b'\\' => *pos += 1,
-            _ => {}
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    let start = *pos;
-    while let Some(&c) = bytes.get(*pos) {
-        if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        } else {
-            break;
-        }
-    }
-    std::str::from_utf8(&bytes[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(drop)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), String> {
-    if bytes[*pos..].starts_with(literal.as_bytes()) {
-        *pos += literal.len();
-        Ok(())
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
 }

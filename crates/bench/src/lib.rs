@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use mogul_data::suite::SuiteScale;
 use mogul_eval::ScenarioConfig;
 

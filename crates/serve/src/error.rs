@@ -1,0 +1,154 @@
+//! The one error contract of the serving layer.
+//!
+//! Every fallible serve entry point — in-process ([`QueryServer`]
+//! (crate::QueryServer), [`IndexWriter`](crate::IndexWriter)) and over the
+//! wire ([`crate::net`]) — answers with a [`ServeError`], so a library
+//! caller and a network client see the same typed failure vocabulary:
+//!
+//! * **Admission failures** ([`ServeError::BadRequest`]) are detected
+//!   *before* a request touches the solve path: `k = 0`, an unknown or
+//!   removed item id, a feature vector of the wrong dimension, or
+//!   non-finite feature values.
+//! * **Load-shedding** ([`ServeError::Overloaded`]) and **drain**
+//!   ([`ServeError::Draining`]) are the overload contract of the network
+//!   front door: a server past its bounded queue capacity answers with a
+//!   typed error immediately instead of letting latency collapse (see
+//!   `docs/NETWORKING.md`).
+//! * **Index failures** ([`ServeError::Index`]) wrap the underlying
+//!   [`CoreError`] for faults that only the solve path itself can detect.
+//! * **Configuration failures** ([`ServeError::Config`]) reject invalid
+//!   [`ServeOptions`](crate::ServeOptions) at construction time.
+
+use mogul_core::CoreError;
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias used by every fallible serving operation.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// Errors produced by the serving layer (library and wire alike).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The server's bounded admission queue is full; the request was shed
+    /// without being executed. Retry with backoff — the queue bound is what
+    /// keeps latency from collapsing under overload.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        queue_depth: usize,
+        /// Configured queue capacity
+        /// ([`ServeOptions::queue_capacity`](crate::ServeOptions::queue_capacity)).
+        queue_capacity: usize,
+    },
+    /// The server is draining (shutting down gracefully): in-flight requests
+    /// finish, new ones are rejected. Reconnect to another replica.
+    Draining,
+    /// The request failed admission-time validation and was never executed.
+    BadRequest {
+        /// What was wrong with the request.
+        reason: String,
+    },
+    /// The index rejected the request during execution.
+    Index(CoreError),
+    /// An invalid configuration was rejected at construction time.
+    Config {
+        /// What was wrong with the configuration.
+        reason: String,
+    },
+}
+
+impl ServeError {
+    /// Shorthand for a [`ServeError::BadRequest`].
+    pub(crate) fn bad_request(reason: impl Into<String>) -> Self {
+        ServeError::BadRequest {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a [`ServeError::Config`].
+    pub(crate) fn config(reason: impl Into<String>) -> Self {
+        ServeError::Config {
+            reason: reason.into(),
+        }
+    }
+
+    /// `true` for the two overload-contract variants a client should retry
+    /// (against this server after backoff, or against another replica).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded { .. } | ServeError::Draining)
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_depth,
+                queue_capacity,
+            } => write!(
+                f,
+                "overloaded: request shed, admission queue at {queue_depth}/{queue_capacity}"
+            ),
+            ServeError::Draining => write!(f, "draining: server is shutting down gracefully"),
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::Index(err) => write!(f, "index error: {err}"),
+            ServeError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Index(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(err: CoreError) -> Self {
+        ServeError::Index(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_variant() {
+        let shed = ServeError::Overloaded {
+            queue_depth: 128,
+            queue_capacity: 128,
+        };
+        assert!(shed.to_string().contains("128/128"));
+        assert!(ServeError::Draining.to_string().contains("draining"));
+        assert!(ServeError::bad_request("k must be at least 1")
+            .to_string()
+            .contains("k must be at least 1"));
+        let idx = ServeError::from(CoreError::InvalidInput("boom".into()));
+        assert!(idx.to_string().contains("boom"));
+        assert!(ServeError::config("queue_capacity must be at least 1")
+            .to_string()
+            .contains("queue_capacity"));
+    }
+
+    #[test]
+    fn retryability_follows_the_overload_contract() {
+        assert!(ServeError::Overloaded {
+            queue_depth: 1,
+            queue_capacity: 1
+        }
+        .is_retryable());
+        assert!(ServeError::Draining.is_retryable());
+        assert!(!ServeError::bad_request("nope").is_retryable());
+        assert!(!ServeError::from(CoreError::InvalidInput("x".into())).is_retryable());
+    }
+
+    #[test]
+    fn source_exposes_the_core_error() {
+        let err = ServeError::from(CoreError::InvalidInput("inner".into()));
+        assert!(err.source().is_some());
+        assert!(ServeError::Draining.source().is_none());
+    }
+}

@@ -1,7 +1,7 @@
 //! # mogul-serve
 //!
-//! Concurrent batched query serving — with zero-downtime updates — on top of
-//! the Mogul index.
+//! Concurrent batched query serving — with zero-downtime updates and a
+//! network front door — on top of the Mogul index.
 //!
 //! The paper's central observation (Section 4 of Fujiwara et al., *Scaling
 //! Manifold Ranking Based Image Retrieval*, PVLDB 2014) is that once the
@@ -13,24 +13,41 @@
 //!
 //! This crate provides exactly that serving layer:
 //!
+//! * [`QueryRequest`] / [`QueryResponse`] — the **canonical query
+//!   vocabulary**. Every way into the serving layer speaks it: the
+//!   in-process [`QueryServer::query`] and [`QueryServer::serve_batch`],
+//!   the `query_by_*` conveniences layered on top of them, and the `MGW1`
+//!   wire protocol of [`net`]. Requests are validated at admission
+//!   ([`QueryRequest::validate`]) — a malformed request is rejected with a
+//!   typed error before it touches a queue or the solve path.
+//! * [`ServeError`] — the **typed error contract** shared by every entry
+//!   point, in-process and on the wire: `Overloaded` (load shed, with queue
+//!   depth and bound), `Draining`, `BadRequest`, `Index`, `Config`.
 //! * [`QueryServer`] — dispatches single, batched, and mixed in-database /
 //!   out-of-sample top-k requests across a [`std::thread::scope`]-based
 //!   worker pool, reading from an epoch-versioned
 //!   [`IndexSnapshot`](mogul_core::update::IndexSnapshot). Batch dispatch is
 //!   **panel-blocked**: workers claim contiguous runs of compatible
 //!   requests (same kind, same `k`) and answer each run through the batched
-//!   multi-RHS substitution engine of `mogul-core` — one traversal of the
-//!   `L D Lᵀ` structure per panel instead of per query (see
+//!   multi-RHS substitution engine of `mogul-core` (see
 //!   `docs/PERFORMANCE.md`); singletons fall back to the scalar path.
-//! * [`QueryRequest`] / [`QueryResponse`] — the query vocabulary, mixing
-//!   both query kinds freely within one batch.
+//! * [`net`] — the **network front door**: a plain-`std` TCP server
+//!   ([`net::NetServer`]) speaking a length-prefixed, checksummed, versioned
+//!   frame codec, with a bounded admission queue that sheds excess load as
+//!   typed `Overloaded` frames, per-connection in-flight caps, graceful
+//!   drain, and a statistics endpoint (p50/p95, qps, shed counts, epoch,
+//!   rebuild debt). Answers over the socket are bit-identical to in-process
+//!   answers. See `docs/NETWORKING.md`.
 //! * [`UpdateRequest`] / [`IndexWriter`] — the write side: updates are
 //!   applied to an [`UpdatableIndex`](mogul_core::update::UpdatableIndex)
 //!   off the query path and the resulting snapshot is swapped in atomically
 //!   ([`QueryServer::install_snapshot`]). In-flight queries finish on the
 //!   epoch they started with — **zero downtime**, no query ever waits on a
 //!   writer.
-//! * [`ServeOptions`] — worker-count configuration.
+//! * [`ServeOptions`] — validated configuration through
+//!   [`ServeOptions::builder`]: worker count, batch [`Dispatch`] strategy,
+//!   admission-queue capacity and per-connection cap. Invalid configurations
+//!   are rejected with [`ServeError::Config`], never silently clamped.
 //! * **Cold start** — [`QueryServer::warm_start`] and
 //!   [`IndexWriter::warm_start`] reconstruct a serving index from a
 //!   checksummed `MOG1` file (see [`mogul_core::persist`] and
@@ -46,18 +63,23 @@
 //! [`RetrievalEngine`](mogul_core::RetrievalEngine) — concurrency changes
 //! throughput, never results.
 //!
-//! `docs/OPERATIONS.md` is the operator's guide to sizing workers and
-//! batches and to the snapshot-swap semantics; `docs/UPDATES.md` covers the
-//! update lifecycle end to end.
+//! `docs/OPERATIONS.md` is the operator's guide to sizing workers, batches
+//! and admission queues; `docs/UPDATES.md` covers the update lifecycle;
+//! `docs/NETWORKING.md` covers the wire protocol and the load harness.
 
 #![deny(missing_docs)]
 
+mod error;
+pub mod net;
+mod options;
 mod request;
 mod server;
 mod updater;
 
+pub use error::{ServeError, ServeResult};
+pub use options::{Dispatch, ServeOptions, ServeOptionsBuilder, MAX_QUEUE_CAPACITY, MAX_WORKERS};
 pub use request::{QueryRequest, QueryResponse, UpdateRequest};
-pub use server::{QueryServer, ServeOptions};
+pub use server::QueryServer;
 pub use updater::IndexWriter;
 
 /// Re-export of the persistence error type surfaced by the warm-start and
@@ -79,4 +101,9 @@ fn static_assert_shared_state_is_send_sync() {
     check::<QueryRequest>();
     check::<QueryResponse>();
     check::<UpdateRequest>();
+    check::<ServeError>();
+    check::<ServeOptions>();
+    check::<net::NetHandle>();
+    check::<net::NetClient>();
+    check::<net::ServerStatsReport>();
 }

@@ -1,0 +1,192 @@
+//! [`NetClient`]: a blocking `MGW1` client for tests, tools and the load
+//! harness.
+//!
+//! The client is deliberately simple — one socket, blocking reads, explicit
+//! request-id bookkeeping. [`NetClient::query`] is the synchronous
+//! round-trip; [`NetClient::send_query`] / [`NetClient::recv_answer`] expose
+//! the pipelined form (many requests in flight, responses correlated by id)
+//! that the load generator uses to produce closed- and open-loop load.
+
+use crate::error::ServeError;
+use crate::net::stats::ServerStatsReport;
+use crate::net::wire::{
+    decode_query_response, decode_serve_error, decode_stats_report, encode_frame,
+    encode_query_request, read_frame, Frame, FrameKind, WireError,
+};
+use crate::request::{QueryRequest, QueryResponse};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures: transport/codec trouble, a typed server-side
+/// rejection, or a protocol-order violation.
+#[derive(Debug)]
+pub enum NetError {
+    /// The wire codec or the socket failed.
+    Wire(WireError),
+    /// The server answered with a typed [`ServeError`] frame (`Overloaded`,
+    /// `Draining`, `BadRequest`, …).
+    Serve(ServeError),
+    /// The peer broke the protocol (unexpected frame kind or request id).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Wire(err) => write!(f, "wire error: {err}"),
+            NetError::Serve(err) => write!(f, "server rejected the request: {err}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Wire(err) => Some(err),
+            NetError::Serve(err) => Some(err),
+            NetError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(err: WireError) -> Self {
+        NetError::Wire(err)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(err: std::io::Error) -> Self {
+        NetError::Wire(err.into())
+    }
+}
+
+/// A blocking connection to a [`NetServer`](crate::net::NetServer).
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connect to a serving address.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// Bound every subsequent read (handy in tests: a hung server fails the
+    /// test instead of hanging it).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Clone the underlying socket into a second handle — the pipelined
+    /// pattern: one thread `send_query`s on the original while another
+    /// `recv_answer`s on the clone.
+    pub fn try_clone(&self) -> std::io::Result<NetClient> {
+        Ok(NetClient {
+            stream: self.stream.try_clone()?,
+            next_id: self.next_id,
+        })
+    }
+
+    fn send_frame(&mut self, kind: FrameKind, payload: &[u8]) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_frame(kind, id, payload)?;
+        self.stream.write_all(&frame).map_err(WireError::from)?;
+        Ok(id)
+    }
+
+    /// Send one query without waiting; returns the request id its answer
+    /// will carry.
+    pub fn send_query(&mut self, request: &QueryRequest) -> Result<u64, NetError> {
+        let mut payload = Vec::new();
+        encode_query_request(request, &mut payload);
+        self.send_frame(FrameKind::Query, &payload)
+    }
+
+    /// Read the next response frame: `(request id, answer-or-typed-error)`.
+    ///
+    /// Only `Answer` and `Error` frames are expected here; anything else is
+    /// a [`NetError::Protocol`]. A cleanly closed stream surfaces as
+    /// [`WireError::Truncated`]-flavored `Protocol` ("server closed").
+    pub fn recv_answer(&mut self) -> Result<(u64, Result<QueryResponse, ServeError>), NetError> {
+        let frame = self.read_some_frame()?;
+        match frame.kind {
+            FrameKind::Answer => {
+                let response = decode_query_response(&frame.payload)?;
+                Ok((frame.request_id, Ok(response)))
+            }
+            FrameKind::Error => {
+                let error = decode_serve_error(&frame.payload)?;
+                Ok((frame.request_id, Err(error)))
+            }
+            other => Err(NetError::Protocol(format!(
+                "expected an answer or error frame, got {other:?}"
+            ))),
+        }
+    }
+
+    fn read_some_frame(&mut self) -> Result<Frame, NetError> {
+        match read_frame(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(NetError::Protocol(
+                "server closed the connection before answering".into(),
+            )),
+        }
+    }
+
+    /// Synchronous round-trip: send one query, wait for its answer. A typed
+    /// server-side rejection becomes [`NetError::Serve`].
+    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryResponse, NetError> {
+        let sent = self.send_query(request)?;
+        let (got, answer) = self.recv_answer()?;
+        if got != sent {
+            return Err(NetError::Protocol(format!(
+                "answer carries request id {got}, expected {sent} \
+                 (mixing `query` with pipelined sends on one connection?)"
+            )));
+        }
+        answer.map_err(NetError::Serve)
+    }
+
+    /// Fetch the server's statistics snapshot.
+    pub fn stats(&mut self) -> Result<ServerStatsReport, NetError> {
+        let sent = self.send_frame(FrameKind::Stats, &[])?;
+        let frame = self.read_some_frame()?;
+        match frame.kind {
+            FrameKind::StatsReport if frame.request_id == sent => {
+                Ok(decode_stats_report(&frame.payload)?)
+            }
+            FrameKind::Error => {
+                let error = decode_serve_error(&frame.payload)?;
+                Err(NetError::Serve(error))
+            }
+            other => Err(NetError::Protocol(format!(
+                "expected a stats report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to drain gracefully; returns once the drain is
+    /// acknowledged (admitted work still completes server-side after this).
+    pub fn drain_server(&mut self) -> Result<(), NetError> {
+        let sent = self.send_frame(FrameKind::Drain, &[])?;
+        let frame = self.read_some_frame()?;
+        match frame.kind {
+            FrameKind::DrainStarted if frame.request_id == sent => Ok(()),
+            FrameKind::Error => {
+                let error = decode_serve_error(&frame.payload)?;
+                Err(NetError::Serve(error))
+            }
+            other => Err(NetError::Protocol(format!(
+                "expected a drain acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Validated serving configuration: [`ServeOptions`] and its builder.
+//!
+//! `ServeOptions` is constructed through [`ServeOptions::builder`], which
+//! **rejects invalid configurations with a typed
+//! [`ServeError::Config`](crate::ServeError::Config) instead of silently
+//! clamping them**. One options value configures both the in-process
+//! [`QueryServer`](crate::QueryServer) (worker count, dispatch strategy) and
+//! the network front door of [`crate::net`] (admission-queue capacity,
+//! per-connection in-flight cap).
+
+use crate::error::{ServeError, ServeResult};
+use std::thread;
+
+/// Upper bound on an explicit worker count — far above any real machine, but
+/// it turns a garbage value (e.g. a mis-parsed CLI flag) into a typed
+/// configuration error instead of a thread-spawn storm.
+pub const MAX_WORKERS: usize = 4096;
+
+/// Upper bound on the admission-queue capacity. The queue is the server's
+/// memory bound under overload; a capacity past this is a configuration
+/// mistake, not a bigger server.
+pub const MAX_QUEUE_CAPACITY: usize = 1 << 20;
+
+/// How [`QueryServer::serve_batch`](crate::QueryServer::serve_batch) executes
+/// a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Blocked multi-RHS panels: contiguous runs of compatible requests
+    /// (same kind, same `k`) are answered through the batched substitution
+    /// engine, up to [`mogul_core::PANEL_WIDTH`] per panel. Bit-identical to
+    /// scalar dispatch, ~2-3x the single-core throughput at batch 32.
+    #[default]
+    Panel,
+    /// One request at a time — the baseline the serving benchmarks compare
+    /// against.
+    Scalar,
+}
+
+/// Configuration of a [`QueryServer`](crate::QueryServer) and of the network
+/// front door ([`crate::net::NetServer`]).
+///
+/// Build one with [`ServeOptions::builder`]; the fields are private because
+/// every constructed value is guaranteed valid. [`ServeOptions::default`] is
+/// the validated default configuration (auto worker count, panel dispatch,
+/// 1024-deep admission queue, 64 in-flight requests per connection).
+///
+/// ```
+/// use mogul_serve::{Dispatch, ServeOptions};
+///
+/// let options = ServeOptions::builder()
+///     .workers(2)
+///     .dispatch(Dispatch::Panel)
+///     .queue_capacity(256)
+///     .max_inflight_per_conn(32)
+///     .build()?;
+/// assert_eq!(options.workers(), 2);
+///
+/// // Invalid configurations are rejected, not clamped.
+/// assert!(ServeOptions::builder().queue_capacity(0).build().is_err());
+/// # Ok::<(), mogul_serve::ServeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    workers: usize,
+    dispatch: Dispatch,
+    queue_capacity: usize,
+    max_inflight_per_conn: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptionsBuilder::default()
+            .build()
+            .expect("default ServeOptions are valid")
+    }
+}
+
+impl ServeOptions {
+    /// Start building an options value (every field starts at its default).
+    pub fn builder() -> ServeOptionsBuilder {
+        ServeOptionsBuilder::default()
+    }
+
+    /// Convenience: the default configuration with an explicit worker count
+    /// (`0` = auto-detect). Panics only if `workers` exceeds [`MAX_WORKERS`];
+    /// use the builder to handle that case as a typed error.
+    pub fn with_workers(workers: usize) -> Self {
+        ServeOptions::builder()
+            .workers(workers)
+            .build()
+            .expect("worker count exceeds MAX_WORKERS")
+    }
+
+    /// Configured worker count (`0` = auto-detect at server construction).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured batch-dispatch strategy.
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
+    }
+
+    /// Bound of the network admission queue: requests arriving while
+    /// `queue_capacity` requests are already waiting are shed with a typed
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Per-connection cap on requests in flight (queued or executing): a
+    /// connection pipelining past this is shed before it can monopolize the
+    /// shared admission queue.
+    pub fn max_inflight_per_conn(&self) -> usize {
+        self.max_inflight_per_conn
+    }
+
+    /// The effective worker count after auto-detection.
+    pub(crate) fn resolve_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    }
+}
+
+/// Builder for [`ServeOptions`]; see [`ServeOptions::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptionsBuilder {
+    workers: usize,
+    dispatch: Dispatch,
+    queue_capacity: usize,
+    max_inflight_per_conn: usize,
+}
+
+impl Default for ServeOptionsBuilder {
+    fn default() -> Self {
+        ServeOptionsBuilder {
+            workers: 0,
+            dispatch: Dispatch::Panel,
+            queue_capacity: 1024,
+            max_inflight_per_conn: 64,
+        }
+    }
+}
+
+impl ServeOptionsBuilder {
+    /// Worker threads per batch dispatch / per network server. `0` (the
+    /// default) auto-detects via [`std::thread::available_parallelism`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Batch-dispatch strategy (default [`Dispatch::Panel`]).
+    pub fn dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Admission-queue bound of the network front door (default 1024).
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Per-connection in-flight request cap (default 64).
+    pub fn max_inflight_per_conn(mut self, max_inflight_per_conn: usize) -> Self {
+        self.max_inflight_per_conn = max_inflight_per_conn;
+        self
+    }
+
+    /// Validate and construct the options.
+    ///
+    /// Rejected (with [`ServeError::Config`](crate::ServeError::Config),
+    /// never clamped): an explicit worker count above [`MAX_WORKERS`], a
+    /// zero or over-[`MAX_QUEUE_CAPACITY`] queue capacity, a zero
+    /// per-connection cap, or a per-connection cap above the queue capacity
+    /// (one connection could then never be shed by its own cap — the shared
+    /// queue would always overflow first, making the setting dead).
+    pub fn build(self) -> ServeResult<ServeOptions> {
+        if self.workers > MAX_WORKERS {
+            return Err(ServeError::config(format!(
+                "workers must be at most {MAX_WORKERS} (0 = auto), got {}",
+                self.workers
+            )));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::config(
+                "queue_capacity must be at least 1 (a zero-capacity queue sheds everything)",
+            ));
+        }
+        if self.queue_capacity > MAX_QUEUE_CAPACITY {
+            return Err(ServeError::config(format!(
+                "queue_capacity must be at most {MAX_QUEUE_CAPACITY}, got {}",
+                self.queue_capacity
+            )));
+        }
+        if self.max_inflight_per_conn == 0 {
+            return Err(ServeError::config(
+                "max_inflight_per_conn must be at least 1",
+            ));
+        }
+        if self.max_inflight_per_conn > self.queue_capacity {
+            return Err(ServeError::config(format!(
+                "max_inflight_per_conn ({}) must not exceed queue_capacity ({})",
+                self.max_inflight_per_conn, self.queue_capacity
+            )));
+        }
+        Ok(ServeOptions {
+            workers: self.workers,
+            dispatch: self.dispatch,
+            queue_capacity: self.queue_capacity,
+            max_inflight_per_conn: self.max_inflight_per_conn,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_panel_dispatched() {
+        let options = ServeOptions::default();
+        assert_eq!(options.workers(), 0);
+        assert_eq!(options.dispatch(), Dispatch::Panel);
+        assert!(options.queue_capacity() >= 1);
+        assert!(options.max_inflight_per_conn() <= options.queue_capacity());
+        assert!(options.resolve_workers() >= 1);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected_not_clamped() {
+        assert!(matches!(
+            ServeOptions::builder().workers(MAX_WORKERS + 1).build(),
+            Err(ServeError::Config { .. })
+        ));
+        assert!(matches!(
+            ServeOptions::builder().queue_capacity(0).build(),
+            Err(ServeError::Config { .. })
+        ));
+        assert!(matches!(
+            ServeOptions::builder()
+                .queue_capacity(MAX_QUEUE_CAPACITY + 1)
+                .build(),
+            Err(ServeError::Config { .. })
+        ));
+        assert!(matches!(
+            ServeOptions::builder().max_inflight_per_conn(0).build(),
+            Err(ServeError::Config { .. })
+        ));
+        assert!(matches!(
+            ServeOptions::builder()
+                .queue_capacity(8)
+                .max_inflight_per_conn(9)
+                .build(),
+            Err(ServeError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn boundary_configurations_are_accepted() {
+        let options = ServeOptions::builder()
+            .workers(MAX_WORKERS)
+            .queue_capacity(1)
+            .max_inflight_per_conn(1)
+            .build()
+            .unwrap();
+        assert_eq!(options.workers(), MAX_WORKERS);
+        assert_eq!(options.queue_capacity(), 1);
+        let options = ServeOptions::builder()
+            .queue_capacity(MAX_QUEUE_CAPACITY)
+            .max_inflight_per_conn(MAX_QUEUE_CAPACITY)
+            .build()
+            .unwrap();
+        assert_eq!(options.max_inflight_per_conn(), MAX_QUEUE_CAPACITY);
+    }
+
+    #[test]
+    fn with_workers_is_a_valid_shorthand() {
+        let options = ServeOptions::with_workers(3);
+        assert_eq!(options.workers(), 3);
+        assert_eq!(options.dispatch(), Dispatch::Panel);
+    }
+}

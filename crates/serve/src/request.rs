@@ -1,14 +1,32 @@
-//! Request/response vocabulary of the serving layer.
+//! The canonical request/response vocabulary of the serving layer.
 //!
-//! A batch submitted to [`QueryServer::serve_batch`](crate::QueryServer::serve_batch)
-//! may mix both query-request kinds freely; each request carries its own
-//! `k`. Mutations travel separately as [`UpdateRequest`]s through an
+//! [`QueryRequest`] / [`QueryResponse`] are the **single query surface**:
+//! every way into the serving layer — the in-process
+//! [`QueryServer::query`](crate::QueryServer::query) and
+//! [`QueryServer::serve_batch`](crate::QueryServer::serve_batch), the
+//! `query_by_*` conveniences, and the `MGW1` wire protocol of [`crate::net`]
+//! — speaks exactly this vocabulary. A batch may mix both request kinds
+//! freely; each request carries its own `k`.
+//!
+//! Requests are **validated at admission time**
+//! ([`QueryRequest::validate`]): a zero `k`, an unknown item id, a feature
+//! vector whose dimension does not match the index, or non-finite feature
+//! values are rejected with a typed
+//! [`ServeError::BadRequest`](crate::ServeError::BadRequest) before the
+//! request is queued or executed — a malformed request never reaches the
+//! solve path (and, on the wire, never occupies an admission-queue slot).
+//!
+//! Mutations travel separately as [`UpdateRequest`]s through an
 //! [`IndexWriter`](crate::IndexWriter) — queries and updates never share a
 //! queue, which is what keeps the query hot path lock-free.
 
+use crate::error::ServeResult;
+use crate::ServeError;
+use mogul_core::update::IndexSnapshot;
 use mogul_core::{OutOfSampleResult, TopKResult};
 
-/// One top-k request submitted to a [`QueryServer`](crate::QueryServer).
+/// One top-k request — the canonical query shape of the serving layer,
+/// in-process and on the wire alike.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryRequest {
     /// Query with an item that is already part of the indexed database
@@ -49,6 +67,55 @@ impl QueryRequest {
         match self {
             QueryRequest::InDatabase { k, .. } | QueryRequest::OutOfSample { k, .. } => *k,
         }
+    }
+
+    /// Admission-time validation against the snapshot that would answer the
+    /// request.
+    ///
+    /// Checks everything that can be checked without running the solve:
+    ///
+    /// * `k >= 1` for both kinds;
+    /// * [`QueryRequest::InDatabase`] — the stable id refers to a live item
+    ///   of the snapshot;
+    /// * [`QueryRequest::OutOfSample`] — the feature dimension matches
+    ///   [`IndexSnapshot::feature_dim`] and every component is finite
+    ///   (historically a mismatched dimension surfaced as an error deep in
+    ///   the solve path; it is now rejected here, before the request is
+    ///   admitted).
+    ///
+    /// Returns [`ServeError::BadRequest`] naming the violation.
+    pub fn validate(&self, snapshot: &IndexSnapshot) -> ServeResult<()> {
+        if self.k() == 0 {
+            return Err(ServeError::bad_request(
+                "the number of requested answer nodes k must be at least 1",
+            ));
+        }
+        match self {
+            QueryRequest::InDatabase { node, .. } => {
+                if !snapshot.contains(*node) {
+                    return Err(ServeError::bad_request(format!(
+                        "item {node} is not in this snapshot (never inserted, or removed)"
+                    )));
+                }
+            }
+            QueryRequest::OutOfSample { feature, .. } => {
+                let dim = snapshot.feature_dim();
+                if feature.len() != dim {
+                    return Err(ServeError::bad_request(format!(
+                        "query feature has dimension {} but the index holds \
+                         {dim}-dimensional features",
+                        feature.len()
+                    )));
+                }
+                if let Some(i) = feature.iter().position(|v| !v.is_finite()) {
+                    return Err(ServeError::bad_request(format!(
+                        "query feature component {i} is {} (must be finite)",
+                        feature[i]
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -12,66 +12,21 @@
 //! small checkout/checkin pool guarded by a [`Mutex`] touched exactly twice
 //! per worker per batch. Batch items are handed out through an atomic
 //! cursor, so workers self-balance.
+//!
+//! Every entry point funnels through the canonical
+//! [`QueryRequest`]/[`QueryResponse`] vocabulary and answers failures with
+//! the typed [`ServeError`](crate::ServeError) contract: requests are
+//! [validated at admission](QueryRequest::validate) before they touch the
+//! solve path.
 
+use crate::error::{ServeError, ServeResult};
+use crate::options::{Dispatch, ServeOptions};
 use crate::request::{QueryRequest, QueryResponse};
 use mogul_core::update::{IndexSnapshot, SnapshotWorkspace};
-use mogul_core::{OutOfSampleIndex, OutOfSampleResult, PersistError, Result, RetrievalEngine};
+use mogul_core::{OutOfSampleIndex, OutOfSampleResult, PersistError, RetrievalEngine};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread;
-
-/// Configuration of a [`QueryServer`].
-///
-/// The default (`workers: 0`) auto-detects the worker count and enables
-/// panel dispatch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ServeOptions {
-    /// Number of worker threads used by
-    /// [`QueryServer::serve_batch`]. `0` means "auto": use
-    /// [`std::thread::available_parallelism`].
-    pub workers: usize,
-    /// Batch requests into multi-RHS panels (see
-    /// [`mogul_core::PANEL_WIDTH`]): contiguous runs of compatible requests
-    /// (same kind, same `k`) are answered through the blocked substitution
-    /// engine instead of one at a time. Results are bit-identical either
-    /// way; disable only to benchmark the scalar dispatch.
-    pub panel_dispatch: bool,
-}
-
-impl Default for ServeOptions {
-    fn default() -> Self {
-        ServeOptions {
-            workers: 0,
-            panel_dispatch: true,
-        }
-    }
-}
-
-impl ServeOptions {
-    /// Options with an explicit worker count (`0` = auto-detect).
-    pub fn with_workers(workers: usize) -> Self {
-        ServeOptions {
-            workers,
-            ..ServeOptions::default()
-        }
-    }
-
-    /// Disable panel dispatch (scalar per-request execution) — the baseline
-    /// the serving benchmarks compare against.
-    pub fn scalar_dispatch(mut self) -> Self {
-        self.panel_dispatch = false;
-        self
-    }
-
-    /// The effective worker count after auto-detection.
-    fn resolve(self) -> usize {
-        if self.workers > 0 {
-            self.workers
-        } else {
-            thread::available_parallelism().map_or(1, |p| p.get())
-        }
-    }
-}
 
 /// Recycles per-worker scratch workspaces across batches so the hot
 /// substitution/pruning path allocates nothing after warm-up.
@@ -113,14 +68,17 @@ impl WorkspacePool {
 /// A thread-safe query server over an epoch-versioned, `Arc`-shared
 /// [`IndexSnapshot`].
 ///
-/// The server answers three request shapes — single queries
-/// ([`QueryServer::query`] and the `query_by_*` conveniences), homogeneous
-/// batches, and mixed in-database / out-of-sample batches
-/// ([`QueryServer::serve_batch`]) — and is itself `Send + Sync`: any number
-/// of threads may submit batches concurrently, each dispatch spawning scoped
-/// workers that die with the call (no background threads, no channels, no
-/// extra dependencies). Answers are bit-identical to the sequential
-/// [`RetrievalEngine`] paths.
+/// The canonical entry points are [`QueryServer::query`] (one
+/// [`QueryRequest`] of either kind) and [`QueryServer::serve_batch`] (a
+/// mixed batch); [`QueryServer::query_by_id`] and
+/// [`QueryServer::query_by_feature`] are thin documented conveniences over
+/// them. The server is itself `Send + Sync`: any number of threads may
+/// submit batches concurrently, each dispatch spawning scoped workers that
+/// die with the call (no background threads, no channels, no extra
+/// dependencies). Answers are bit-identical to the sequential
+/// [`RetrievalEngine`] paths; failures use the typed
+/// [`ServeError`](crate::ServeError) contract shared with the network front
+/// door ([`crate::net`]).
 ///
 /// When the collection changes, a writer (see
 /// [`IndexWriter`](crate::IndexWriter)) produces the next snapshot off the
@@ -135,7 +93,8 @@ impl WorkspacePool {
 /// // Twelve items along a line, then a server with two workers.
 /// let features: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 0.0]).collect();
 /// let engine = RetrievalEngine::builder().knn_k(3).build(features)?;
-/// let server = QueryServer::from_engine(engine, ServeOptions::with_workers(2));
+/// let options = ServeOptions::builder().workers(2).build()?;
+/// let server = QueryServer::from_engine(engine, options);
 ///
 /// // One batch may mix in-database and out-of-sample requests.
 /// let answers = server.serve_batch(&[
@@ -145,13 +104,13 @@ impl WorkspacePool {
 /// for answer in &answers {
 ///     assert_eq!(answer.as_ref().unwrap().top_k().len(), 3);
 /// }
-/// # Ok::<(), mogul_core::CoreError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct QueryServer {
     state: RwLock<Arc<IndexSnapshot>>,
     workers: usize,
-    panel_dispatch: bool,
+    dispatch: Dispatch,
     pool: WorkspacePool,
 }
 
@@ -200,11 +159,11 @@ impl QueryServer {
     /// Build a server over an existing snapshot (e.g. the current epoch of
     /// an [`UpdatableIndex`](mogul_core::update::UpdatableIndex)).
     pub fn from_snapshot(snapshot: Arc<IndexSnapshot>, options: ServeOptions) -> Self {
-        let workers = options.resolve();
+        let workers = options.resolve_workers();
         QueryServer {
             state: RwLock::new(snapshot),
             workers,
-            panel_dispatch: options.panel_dispatch,
+            dispatch: options.dispatch(),
             // One retained workspace per worker covers the steady state; a
             // spike of concurrent batches allocates extras and drops them.
             pool: WorkspacePool::with_capacity(workers),
@@ -248,9 +207,14 @@ impl QueryServer {
         self.len() == 0
     }
 
-    /// Answer one request of either kind on the calling thread.
-    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse> {
+    /// Answer one request of either kind on the calling thread — the
+    /// canonical single-query entry point. The request is validated at
+    /// admission ([`QueryRequest::validate`]); a malformed request returns
+    /// [`ServeError::BadRequest`](crate::ServeError::BadRequest) without
+    /// touching the solve path.
+    pub fn query(&self, request: &QueryRequest) -> ServeResult<QueryResponse> {
         let snapshot = self.snapshot();
+        request.validate(&snapshot)?;
         let mut ws = self.pool.checkout();
         let result = Self::answer(&snapshot, &mut ws, request);
         self.pool.checkin(ws);
@@ -259,35 +223,43 @@ impl QueryServer {
 
     /// Top-k for an item already in the database, by stable item id (the
     /// item itself is excluded from the result).
-    pub fn query_by_id(&self, item: usize, k: usize) -> Result<mogul_core::TopKResult> {
-        let snapshot = self.snapshot();
-        let mut ws = self.pool.checkout();
-        let result = snapshot.query_by_id_in(&mut ws, item, k);
-        self.pool.checkin(ws);
-        result
+    ///
+    /// Thin convenience over [`QueryServer::query`] with a
+    /// [`QueryRequest::InDatabase`] request.
+    pub fn query_by_id(&self, item: usize, k: usize) -> ServeResult<mogul_core::TopKResult> {
+        match self.query(&QueryRequest::in_database(item, k))? {
+            QueryResponse::InDatabase(top_k) => Ok(top_k),
+            QueryResponse::OutOfSample(_) => unreachable!("in-database request"),
+        }
     }
 
     /// Top-k for an arbitrary feature vector (out-of-sample query).
-    pub fn query_by_feature(&self, feature: &[f64], k: usize) -> Result<OutOfSampleResult> {
-        let snapshot = self.snapshot();
-        let mut ws = self.pool.checkout();
-        let result = snapshot.query_by_feature_in(&mut ws, feature, k);
-        self.pool.checkin(ws);
-        result
+    ///
+    /// Thin convenience over [`QueryServer::query`] with a
+    /// [`QueryRequest::OutOfSample`] request (the feature is borrowed, not
+    /// copied: the request is assembled only after validation would pass
+    /// anyway, so the clone is one allocation per call).
+    pub fn query_by_feature(&self, feature: &[f64], k: usize) -> ServeResult<OutOfSampleResult> {
+        match self.query(&QueryRequest::out_of_sample(feature.to_vec(), k))? {
+            QueryResponse::OutOfSample(result) => Ok(*result),
+            QueryResponse::InDatabase(_) => unreachable!("out-of-sample request"),
+        }
     }
 
     /// Answer a batch of (possibly mixed) requests, preserving order:
     /// `answers[i]` belongs to `requests[i]`. Failures are per-request — one
-    /// invalid request never poisons the rest of the batch.
+    /// invalid request never poisons the rest of the batch. Each request is
+    /// validated at admission; invalid requests receive their
+    /// [`ServeError::BadRequest`](crate::ServeError::BadRequest) without
+    /// executing, and never join a panel.
     ///
     /// The batch is first cut into **jobs**: contiguous runs of compatible
     /// requests (same kind, same `k`) become panels of up to
     /// [`mogul_core::PANEL_WIDTH`] requests answered through the batched
-    /// multi-RHS engine; singletons (and everything, when
-    /// [`ServeOptions::panel_dispatch`] is off) take the scalar path. A
-    /// panel whose batched call fails re-runs its requests individually, so
-    /// error reporting stays per-request. Answers are bit-identical to
-    /// scalar dispatch.
+    /// multi-RHS engine; singletons (and everything, under
+    /// [`Dispatch::Scalar`]) take the scalar path. A panel whose batched
+    /// call fails re-runs its requests individually, so error reporting
+    /// stays per-request. Answers are bit-identical to scalar dispatch.
     ///
     /// The snapshot is read once per batch, so all answers of one batch come
     /// from one epoch even if a writer swaps mid-batch. Jobs are spread over
@@ -295,15 +267,22 @@ impl QueryServer {
     /// a single-worker server (or a one-job batch) runs inline with no
     /// thread spawned at all. `serve_batch` takes `&self`, so any number of
     /// batches may be in flight concurrently on one server.
-    pub fn serve_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+    pub fn serve_batch(&self, requests: &[QueryRequest]) -> Vec<ServeResult<QueryResponse>> {
         let snapshot = self.snapshot();
-        let jobs = Self::build_jobs(requests, self.panel_dispatch);
+        // Admission: validate every request against the batch's snapshot
+        // once, up front. Rejected requests are answered from this table and
+        // excluded from panel formation.
+        let admission: Vec<Option<ServeError>> = requests
+            .iter()
+            .map(|r| r.validate(&snapshot).err())
+            .collect();
+        let jobs = Self::build_jobs(requests, &admission, self.dispatch);
         let workers = self.workers.min(jobs.len()).max(1);
         if workers == 1 {
             let mut ws = self.pool.checkout();
             let mut local = Vec::with_capacity(requests.len());
             for &job in &jobs {
-                Self::answer_job(&snapshot, &mut ws, requests, job, &mut local);
+                Self::answer_job(&snapshot, &mut ws, requests, &admission, job, &mut local);
             }
             self.pool.checkin(ws);
             return Self::stitch(local, requests.len());
@@ -315,7 +294,8 @@ impl QueryServer {
         let next = AtomicUsize::new(0);
         let snapshot = &snapshot;
         let jobs = &jobs;
-        let per_worker: Vec<Vec<(usize, Result<QueryResponse>)>> = thread::scope(|scope| {
+        let admission = &admission;
+        let per_worker: Vec<Vec<(usize, ServeResult<QueryResponse>)>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -326,7 +306,9 @@ impl QueryServer {
                             if j >= jobs.len() {
                                 break;
                             }
-                            Self::answer_job(snapshot, &mut ws, requests, jobs[j], &mut local);
+                            Self::answer_job(
+                                snapshot, &mut ws, requests, admission, jobs[j], &mut local,
+                            );
                         }
                         self.pool.checkin(ws);
                         local
@@ -343,8 +325,15 @@ impl QueryServer {
     }
 
     /// Cut a batch into panel/scalar jobs (see [`QueryServer::serve_batch`]).
-    fn build_jobs(requests: &[QueryRequest], panel_dispatch: bool) -> Vec<Job> {
-        if !panel_dispatch {
+    /// Requests that failed admission are always singleton jobs — they are
+    /// answered from the admission table and must not drag a healthy panel
+    /// onto the scalar fallback path.
+    fn build_jobs(
+        requests: &[QueryRequest],
+        admission: &[Option<ServeError>],
+        dispatch: Dispatch,
+    ) -> Vec<Job> {
+        if dispatch == Dispatch::Scalar {
             return (0..requests.len())
                 .map(|start| Job { start, len: 1 })
                 .collect();
@@ -362,11 +351,14 @@ impl QueryServer {
         let mut start = 0usize;
         while start < requests.len() {
             let mut end = start + 1;
-            while end < requests.len()
-                && end - start < mogul_core::PANEL_WIDTH
-                && compatible(&requests[start], &requests[end])
-            {
-                end += 1;
+            if admission[start].is_none() {
+                while end < requests.len()
+                    && end - start < mogul_core::PANEL_WIDTH
+                    && admission[end].is_none()
+                    && compatible(&requests[start], &requests[end])
+                {
+                    end += 1;
+                }
             }
             jobs.push(Job {
                 start,
@@ -382,11 +374,16 @@ impl QueryServer {
         snapshot: &IndexSnapshot,
         ws: &mut SnapshotWorkspace,
         requests: &[QueryRequest],
+        admission: &[Option<ServeError>],
         job: Job,
-        local: &mut Vec<(usize, Result<QueryResponse>)>,
+        local: &mut Vec<(usize, ServeResult<QueryResponse>)>,
     ) {
         if job.len == 1 {
-            local.push((job.start, Self::answer(snapshot, ws, &requests[job.start])));
+            let answer = match &admission[job.start] {
+                Some(err) => Err(err.clone()),
+                None => Self::answer(snapshot, ws, &requests[job.start]),
+            };
+            local.push((job.start, answer));
             return;
         }
         let slice = &requests[job.start..job.start + job.len];
@@ -430,9 +427,10 @@ impl QueryServer {
                     local.push((job.start + offset, Ok(answer)));
                 }
             }
-            // The batched entry points fail the whole panel on one invalid
-            // request; re-run the job's requests individually so each gets
-            // its precise per-request result or error.
+            // Panels contain only admission-validated requests, but the
+            // batched entry points still fail the whole panel on an
+            // execution fault; re-run the job's requests individually so
+            // each gets its precise per-request result or error.
             Err(_) => {
                 for (offset, request) in slice.iter().enumerate() {
                     local.push((job.start + offset, Self::answer(snapshot, ws, request)));
@@ -442,8 +440,11 @@ impl QueryServer {
     }
 
     /// Reassemble `(index, answer)` pairs into request order.
-    fn stitch(flat: Vec<(usize, Result<QueryResponse>)>, len: usize) -> Vec<Result<QueryResponse>> {
-        let mut answers: Vec<Option<Result<QueryResponse>>> = (0..len).map(|_| None).collect();
+    fn stitch(
+        flat: Vec<(usize, ServeResult<QueryResponse>)>,
+        len: usize,
+    ) -> Vec<ServeResult<QueryResponse>> {
+        let mut answers: Vec<Option<ServeResult<QueryResponse>>> = (0..len).map(|_| None).collect();
         for (i, answer) in flat {
             answers[i] = Some(answer);
         }
@@ -458,7 +459,7 @@ impl QueryServer {
         snapshot: &IndexSnapshot,
         ws: &mut SnapshotWorkspace,
         request: &QueryRequest,
-    ) -> Result<QueryResponse> {
+    ) -> ServeResult<QueryResponse> {
         match request {
             QueryRequest::InDatabase { node, k } => Ok(QueryResponse::InDatabase(
                 snapshot.query_by_id_in(ws, *node, *k)?,

@@ -19,11 +19,12 @@
 //! means here: it is background *relative to queries*, not a thread this
 //! crate spawns.
 
+use crate::error::ServeResult;
+use crate::options::ServeOptions;
 use crate::request::UpdateRequest;
-use crate::server::{QueryServer, ServeOptions};
+use crate::server::QueryServer;
 use mogul_core::persist::{self, PersistError};
 use mogul_core::update::{IndexDelta, RebuildDebt, UpdatableIndex, UpdateReport};
-use mogul_core::Result;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -36,7 +37,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 ///
 /// let features: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 0.0]).collect();
 /// let index = IndexBuilder::new().knn_k(3).build(features)?;
-/// let (server, writer) = IndexWriter::new(index, ServeOptions::with_workers(2));
+/// let options = ServeOptions::builder().workers(2).build()?;
+/// let (server, writer) = IndexWriter::new(index, options);
 ///
 /// // Queries and updates may now run from different threads; each update
 /// // publishes a new epoch without interrupting in-flight queries.
@@ -44,7 +46,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// assert_eq!(server.epoch(), report.epoch);
 /// let top = server.query_by_id(report.inserted[0], 3)?;
 /// assert_eq!(top.len(), 3);
-/// # Ok::<(), mogul_core::CoreError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct IndexWriter {
@@ -178,7 +180,9 @@ impl IndexWriter {
 
     /// Apply a batch of update requests as one atomic delta and publish the
     /// resulting snapshot epoch. Insert ids are reported in request order.
-    pub fn apply(&self, updates: &[UpdateRequest]) -> Result<UpdateReport> {
+    /// Index-level rejections surface as
+    /// [`ServeError::Index`](crate::ServeError::Index).
+    pub fn apply(&self, updates: &[UpdateRequest]) -> ServeResult<UpdateReport> {
         let mut delta = IndexDelta::new();
         for update in updates {
             match update {
@@ -197,7 +201,7 @@ impl IndexWriter {
     /// snapshot epoch. If the apply ended in a full refactorization and a
     /// checkpoint path is configured, the fresh clean epoch is re-saved to
     /// it (best-effort; see [`IndexWriter::set_checkpoint`]).
-    pub fn apply_delta(&self, delta: &IndexDelta) -> Result<UpdateReport> {
+    pub fn apply_delta(&self, delta: &IndexDelta) -> ServeResult<UpdateReport> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let report = inner.apply(delta)?;
         self.server.install_snapshot(inner.snapshot());
@@ -208,7 +212,7 @@ impl IndexWriter {
     /// Force a full refactorization now (debt back to zero) and publish it.
     /// Queries keep answering from the previous epoch while this runs. The
     /// fresh epoch is checkpointed if a path is configured.
-    pub fn rebuild(&self) -> Result<UpdateReport> {
+    pub fn rebuild(&self) -> ServeResult<UpdateReport> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let report = inner.rebuild()?;
         self.server.install_snapshot(inner.snapshot());

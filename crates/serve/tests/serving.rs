@@ -9,7 +9,7 @@
 use mogul_core::{OutOfSampleResult, RetrievalEngine};
 use mogul_data::coil::{coil_like, CoilLikeConfig};
 use mogul_data::Dataset;
-use mogul_serve::{QueryRequest, QueryResponse, QueryServer, ServeOptions};
+use mogul_serve::{Dispatch, QueryRequest, QueryResponse, QueryServer, ServeError, ServeOptions};
 use std::sync::Arc;
 use std::thread;
 
@@ -221,7 +221,11 @@ fn panel_dispatch_matches_scalar_dispatch_on_homogeneous_runs() {
         let panel = QueryServer::new(Arc::clone(&index), ServeOptions::with_workers(1));
         let scalar = QueryServer::new(
             Arc::clone(&index),
-            ServeOptions::with_workers(1).scalar_dispatch(),
+            ServeOptions::builder()
+                .workers(1)
+                .dispatch(Dispatch::Scalar)
+                .build()
+                .expect("valid options"),
         );
         let threaded = QueryServer::new(Arc::clone(&index), ServeOptions::with_workers(3));
         let from_panel = panel.serve_batch(&batch);
@@ -267,9 +271,57 @@ fn panel_jobs_keep_per_request_error_isolation() {
     let answers = server.serve_batch(&batch);
     assert!(answers[0].is_ok());
     assert!(answers[1].is_ok());
-    assert!(answers[2].is_err());
+    assert!(
+        matches!(answers[2], Err(ServeError::BadRequest { .. })),
+        "an unknown id must be rejected at admission with a typed BadRequest, got {:?}",
+        answers[2]
+    );
     assert!(answers[3].is_ok());
     assert!(answers[4].is_ok());
+}
+
+#[test]
+fn admission_validation_rejects_malformed_requests_with_typed_errors() {
+    let (db, _) = dataset();
+    let engine = RetrievalEngine::builder()
+        .build(db.features().to_vec())
+        .unwrap();
+    let dim = db.features()[0].len();
+    let server = QueryServer::from_engine(engine, ServeOptions::with_workers(1));
+    // k = 0, unknown id, wrong dimension, and a non-finite component are all
+    // BadRequest — and none of them reach the solve path.
+    for request in [
+        QueryRequest::in_database(0, 0),
+        QueryRequest::in_database(db.len() + 1, 5),
+        QueryRequest::out_of_sample(vec![0.25; dim + 3], 5),
+        QueryRequest::out_of_sample(
+            {
+                let mut f = vec![0.25; dim];
+                f[dim / 2] = f64::NAN;
+                f
+            },
+            5,
+        ),
+    ] {
+        match server.query(&request) {
+            Err(ServeError::BadRequest { reason }) => {
+                assert!(!reason.is_empty(), "reason must name the violation")
+            }
+            other => panic!("expected BadRequest for {request:?}, got {other:?}"),
+        }
+    }
+    // Retryability is part of the contract: overload sheds are retryable,
+    // client mistakes are not.
+    assert!(ServeError::Overloaded {
+        queue_depth: 4,
+        queue_capacity: 4
+    }
+    .is_retryable());
+    assert!(ServeError::Draining.is_retryable());
+    assert!(!ServeError::BadRequest {
+        reason: "nope".into()
+    }
+    .is_retryable());
 }
 
 #[test]

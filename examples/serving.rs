@@ -14,7 +14,7 @@
 
 use mogul_suite::core::RetrievalEngine;
 use mogul_suite::data::sift::{sift_like, SiftLikeConfig};
-use mogul_suite::serve::{QueryRequest, QueryServer, ServeOptions};
+use mogul_suite::serve::{Dispatch, QueryRequest, QueryServer, ServeOptions};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -108,7 +108,11 @@ fn main() {
     println!("\nscalar vs panel dispatch (1 worker, in-database requests, k = 10):");
     let scalar_server = QueryServer::new(
         Arc::clone(&index),
-        ServeOptions::with_workers(1).scalar_dispatch(),
+        ServeOptions::builder()
+            .workers(1)
+            .dispatch(Dispatch::Scalar)
+            .build()
+            .expect("valid options"),
     );
     let panel_server = QueryServer::new(Arc::clone(&index), ServeOptions::with_workers(1));
     let n = db.len();
