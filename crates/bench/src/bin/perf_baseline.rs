@@ -37,6 +37,7 @@ use mogul_bench::baseline::{
 };
 use mogul_core::persist;
 use mogul_core::update::{IndexBuilder, IndexDelta, RebuildPolicy};
+use mogul_core::wal::{self, Wal, WalOp, WalSync};
 use mogul_core::{
     BatchWorkspace, MogulConfig, MogulIndex, OosWorkspace, OutOfSampleConfig, OutOfSampleIndex,
     SearchMode, SearchWorkspace,
@@ -343,6 +344,76 @@ fn main() {
         });
         let load_p50_secs = percentile_us(&results[results.len() - 2].latencies, 0.50) / 1e6;
         cold_speedup = precompute_secs / load_p50_secs.max(1e-12);
+    }
+
+    // -- crash recovery: checkpoint + WAL replay ----------------------------
+    // `cold_start_replay` measures the full durable restart: load the
+    // checkpoint, scan the log, replay every record past the watermark. The
+    // smoke gate replays the log and asserts the recovered index answers
+    // bit-identically to the writer that never crashed.
+    {
+        let m = if smoke { 600 } else { 2_000 };
+        let k_updates = if smoke { 16usize } else { 64 };
+        let wal_features: Vec<Vec<f64>> = dataset.features()[..m].to_vec();
+        let mut live = IndexBuilder::new()
+            .knn_k(5)
+            .rebuild_policy(RebuildPolicy::never())
+            .build(wal_features)
+            .expect("updatable index");
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("target")
+            .join("BENCH_wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create wal bench dir");
+        let ckpt = dir.join("ckpt.mog1");
+        persist::save_updatable(&live, &ckpt).expect("save checkpoint");
+        let wal_dir = dir.join("wal");
+        let mut log =
+            Wal::create(&wal_dir, live.epoch(), WalSync::EveryRecord).expect("create wal");
+        eprintln!(
+            "perf_baseline: crash-recovery scenario ({m} items, {k_updates} wal records) ..."
+        );
+        for i in 0..k_updates {
+            let mut delta = IndexDelta::new();
+            let mut feature = dataset.features()[(i * 17) % m].clone();
+            feature[0] += 0.03;
+            delta.insert(feature);
+            log.append(i as u64 + 1, &WalOp::Delta(delta.clone()))
+                .expect("append wal record");
+            live.apply(&delta).expect("apply delta");
+        }
+        drop(log);
+
+        let mut replay_latencies = Vec::new();
+        let mut last_recovered = None;
+        for _ in 0..(if smoke { 3 } else { 10 }) {
+            let start = Instant::now();
+            let (recovered, _log, outcome) =
+                wal::recover_updatable(&ckpt, &wal_dir, WalSync::EveryRecord).expect("recover");
+            replay_latencies.push(start.elapsed().as_secs_f64());
+            assert_eq!(outcome.replay.applied, k_updates, "short replay");
+            assert_eq!(recovered.epoch(), live.epoch(), "recovery missed epochs");
+            last_recovered = Some(recovered);
+        }
+        // The recovery gate: replayed answers are bit-identical to the
+        // writer that never crashed.
+        let recovered = last_recovered.expect("at least one recovery").snapshot();
+        let live_snap = live.snapshot();
+        assert_eq!(live_snap.item_ids(), recovered.item_ids());
+        for id in live_snap.item_ids().into_iter().step_by(37) {
+            assert_eq!(
+                live_snap.query_by_id(id, 10).expect("live query"),
+                recovered.query_by_id(id, 10).expect("recovered query"),
+                "recovered answers diverged at id {id}"
+            );
+        }
+        results.push(ScenarioResult {
+            name: "cold_start_replay",
+            latencies: replay_latencies,
+            queries_per_iter: 1,
+        });
     }
 
     // -- report, assert, write ---------------------------------------------

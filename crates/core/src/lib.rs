@@ -48,6 +48,7 @@ pub mod persist;
 pub mod ranking;
 pub mod topk;
 pub mod update;
+pub mod wal;
 
 pub use emr::{EmrConfig, EmrSolver};
 pub use engine::{RetrievalEngine, RetrievalEngineBuilder};
@@ -67,6 +68,7 @@ pub use update::{
     IndexBuilder, IndexDelta, IndexSnapshot, RebuildDebt, RebuildPolicy, SnapshotWorkspace,
     UpdatableIndex, UpdateOp, UpdateReport,
 };
+pub use wal::{RecoveryOutcome, RecoveryReport, ReplayReport, Wal, WalError, WalOp, WalSync};
 
 /// Errors produced by this crate (shared with the substrates).
 pub use mogul_sparse::error::{Result, SparseError as CoreError};

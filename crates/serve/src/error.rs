@@ -18,6 +18,9 @@
 //!   [`CoreError`] for faults that only the solve path itself can detect.
 //! * **Configuration failures** ([`ServeError::Config`]) reject invalid
 //!   [`ServeOptions`](crate::ServeOptions) at construction time.
+//! * **Durability failures** ([`ServeError::Durability`]) reject an update
+//!   whose write-ahead-log record could not be made durable; the update is
+//!   not applied (see `docs/PERSISTENCE.md`).
 
 use mogul_core::CoreError;
 use std::error::Error;
@@ -54,6 +57,14 @@ pub enum ServeError {
         /// What was wrong with the configuration.
         reason: String,
     },
+    /// The write-ahead log could not make an update durable (or could not
+    /// discard a failed one); the update was **not** applied. The writer
+    /// fails closed: an epoch is only ever acknowledged once its record is
+    /// on disk. See [`IndexWriter::enable_wal`](crate::IndexWriter::enable_wal).
+    Durability {
+        /// The underlying [`WalError`](mogul_core::wal::WalError), rendered.
+        reason: String,
+    },
 }
 
 impl ServeError {
@@ -68,6 +79,14 @@ impl ServeError {
     pub(crate) fn config(reason: impl Into<String>) -> Self {
         ServeError::Config {
             reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a [`ServeError::Durability`] wrapping a
+    /// [`WalError`](mogul_core::wal::WalError).
+    pub(crate) fn durability(err: mogul_core::wal::WalError) -> Self {
+        ServeError::Durability {
+            reason: err.to_string(),
         }
     }
 
@@ -92,6 +111,9 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             ServeError::Index(err) => write!(f, "index error: {err}"),
             ServeError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            ServeError::Durability { reason } => {
+                write!(f, "durability failure, update not applied: {reason}")
+            }
         }
     }
 }
@@ -131,6 +153,9 @@ mod tests {
         assert!(ServeError::config("queue_capacity must be at least 1")
             .to_string()
             .contains("queue_capacity"));
+        let wal = ServeError::durability(mogul_core::wal::WalError::InvalidState("boom".into()));
+        assert!(wal.to_string().contains("durability failure"));
+        assert!(wal.to_string().contains("boom"));
     }
 
     #[test]

@@ -86,6 +86,12 @@ pub use updater::IndexWriter;
 /// checkpointing entry points.
 pub use mogul_core::persist::PersistError;
 
+/// Re-exports of the write-ahead-log types surfaced by the durability
+/// entry points ([`IndexWriter::enable_wal`],
+/// [`IndexWriter::warm_start_durable`],
+/// [`QueryServer::warm_start_replay`]).
+pub use mogul_core::wal::{RecoveryOutcome, WalError, WalSync};
+
 // The serving layer is sound only because every shared piece of query state
 // is immutable and thread-safe; keep that audited at compile time.
 #[allow(dead_code)]

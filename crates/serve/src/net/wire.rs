@@ -514,6 +514,7 @@ const ERR_DRAINING: u8 = 2;
 const ERR_BAD_REQUEST: u8 = 3;
 const ERR_INDEX: u8 = 4;
 const ERR_CONFIG: u8 = 5;
+const ERR_DURABILITY: u8 = 6;
 
 /// Encode a [`ServeError`] payload.
 ///
@@ -543,6 +544,10 @@ pub fn encode_serve_error(error: &ServeError, out: &mut Vec<u8>) {
             out.push(ERR_CONFIG);
             put_str(out, reason);
         }
+        ServeError::Durability { reason } => {
+            out.push(ERR_DURABILITY);
+            put_str(out, reason);
+        }
     }
 }
 
@@ -568,6 +573,9 @@ pub fn decode_serve_error(payload: &[u8]) -> Result<ServeError, WireError> {
             "error detail",
         )?)),
         ERR_CONFIG => ServeError::Config {
+            reason: take_str(&mut reader, "error reason")?,
+        },
+        ERR_DURABILITY => ServeError::Durability {
             reason: take_str(&mut reader, "error reason")?,
         },
         other => return Err(WireError::Payload(format!("unknown error tag {other}"))),

@@ -156,6 +156,35 @@ impl QueryServer {
         ))
     }
 
+    /// Warm-start with **crash recovery**: load an updatable-index
+    /// checkpoint, then replay its write-ahead log over it (see
+    /// [`mogul_core::wal`]), landing on the exact epoch the crashed writer
+    /// last acknowledged — including the corrected epochs a checkpoint
+    /// alone would lose. Answers are bit-identical to the uncrashed
+    /// writer's at that epoch.
+    ///
+    /// This is the **read-replica** flavor: nothing on disk is modified
+    /// (even a torn tail is only skipped, not truncated) and no writer is
+    /// stood up. A process that will keep applying updates should use
+    /// [`IndexWriter::warm_start_durable`](crate::IndexWriter::warm_start_durable)
+    /// instead, which re-opens the log for appending.
+    pub fn warm_start_replay(
+        checkpoint: impl AsRef<std::path::Path>,
+        wal_dir: impl AsRef<std::path::Path>,
+        options: ServeOptions,
+    ) -> std::result::Result<Self, mogul_core::wal::WalError> {
+        let mut index = mogul_core::persist::load_updatable(checkpoint.as_ref())?;
+        let (records, report) = mogul_core::wal::read_log(wal_dir)?;
+        if index.epoch() > report.last_epoch {
+            return Err(mogul_core::wal::WalError::EpochGap {
+                expected: index.epoch(),
+                found: report.last_epoch,
+            });
+        }
+        mogul_core::wal::replay(&mut index, &records)?;
+        Ok(QueryServer::from_snapshot(index.snapshot(), options))
+    }
+
     /// Build a server over an existing snapshot (e.g. the current epoch of
     /// an [`UpdatableIndex`](mogul_core::update::UpdatableIndex)).
     pub fn from_snapshot(snapshot: Arc<IndexSnapshot>, options: ServeOptions) -> Self {

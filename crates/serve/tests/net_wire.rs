@@ -164,6 +164,9 @@ fn serve_error_payloads_round_trip() {
         ServeError::Config {
             reason: "queue_capacity must be at least 1".into(),
         },
+        ServeError::Durability {
+            reason: "i/o failure during append wal record: disk full".into(),
+        },
     ];
     for error in cases {
         let mut payload = Vec::new();

@@ -6,6 +6,8 @@
 //! cargo run --release --example mogul_index -- save <path> [--items N] [--dim D] [--knn K] [--exact] [--immutable]
 //! cargo run --release --example mogul_index -- inspect <path>
 //! cargo run --release --example mogul_index -- load <path> [--query ID] [--k K]
+//! cargo run --release --example mogul_index -- wal_demo [dir]
+//! cargo run --release --example mogul_index -- wal_inspect <dir>
 //! ```
 //!
 //! * `save` builds an index over a deterministic synthetic corpus and writes
@@ -15,6 +17,12 @@
 //! * `load` cold-starts a `QueryServer` from the file — no k-NN
 //!   construction, no clustering, no factorization — runs a query, and
 //!   reports the load time.
+//! * `wal_demo` runs the durability cycle: checkpoint + write-ahead log,
+//!   a stream of updates, a simulated crash (torn tail appended to the
+//!   segment), and recovery that is verified bit-identical to the writer
+//!   that never crashed. This is what the CI `wal-smoke` job runs.
+//! * `wal_inspect` validates a WAL directory (`MWAL` segments; see
+//!   `docs/PERSISTENCE.md`) read-only and prints the segment table.
 //!
 //! With no arguments the demo performs the whole cycle (save → inspect →
 //! load → query → compare against the in-memory index) in `target/`, which
@@ -22,8 +30,9 @@
 
 use mogul_suite::core::persist;
 use mogul_suite::core::update::IndexBuilder;
+use mogul_suite::core::wal;
 use mogul_suite::data::web::{web_like, WebLikeConfig};
-use mogul_suite::serve::{QueryServer, ServeOptions};
+use mogul_suite::serve::{IndexWriter, QueryServer, ServeOptions, UpdateRequest, WalSync};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -119,6 +128,145 @@ fn load(path: &Path, query: usize, k: usize) -> f64 {
     load_secs
 }
 
+fn wal_inspect(dir: &Path) {
+    let segments = wal::inspect_dir(dir).expect("inspect wal directory");
+    if segments.is_empty() {
+        println!("no wal segments in {}", dir.display());
+        return;
+    }
+    println!(
+        "{:<30} {:>12} {:>8} {:>12} {:>10}  torn tail",
+        "segment", "base epoch", "records", "last epoch", "bytes"
+    );
+    for info in &segments {
+        let name = info
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| info.path.display().to_string());
+        let torn = match info.torn {
+            Some(t) => format!("{} bytes at offset {}", t.bytes, t.offset),
+            None => "-".to_string(),
+        };
+        println!(
+            "{name:<30} {:>12} {:>8} {:>12} {:>10}  {torn}",
+            info.base_epoch, info.records, info.last_epoch, info.bytes
+        );
+    }
+    let last = segments.last().expect("non-empty");
+    println!(
+        "log is valid: {} segment(s), contiguous epochs up to {}",
+        segments.len(),
+        last.last_epoch
+    );
+}
+
+fn wal_demo(dir: &Path) {
+    let ckpt = dir.join("ckpt.mog1");
+    let wal_dir = dir.join("wal");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_file(&ckpt);
+    std::fs::create_dir_all(dir).expect("create demo dir");
+
+    println!("== enable durability ==");
+    let dim = 8;
+    // Rebuilds only on demand, so the log (not an auto-checkpoint) is what
+    // carries the tail of the stream through the crash.
+    let index = IndexBuilder::new()
+        .knn_k(5)
+        .rebuild_policy(mogul_suite::core::update::RebuildPolicy::never())
+        .build(corpus(600, dim))
+        .expect("build index");
+    let (server, writer) = IndexWriter::new(index, ServeOptions::with_workers(1));
+    writer.set_checkpoint(Some(ckpt.clone()));
+    writer
+        .enable_wal(&wal_dir, WalSync::EveryRecord)
+        .expect("enable wal");
+    println!(
+        "checkpoint -> {}\nwal segment -> {}",
+        ckpt.display(),
+        writer.wal_segment_path().expect("wal segment").display()
+    );
+
+    println!("\n== apply updates (append-before-apply, fsync per record) ==");
+    let start = Instant::now();
+    let apply_one = |i: u64| {
+        if i % 5 == 4 {
+            writer
+                .apply(&[UpdateRequest::remove((i * 13 % 600) as usize)])
+                .expect("apply remove");
+        } else {
+            let feature: Vec<f64> = (0..dim).map(|d| ((i * 7 + d as u64) % 10) as f64).collect();
+            writer
+                .apply(&[UpdateRequest::insert(feature)])
+                .expect("apply insert");
+        }
+    };
+    for i in 0..25u64 {
+        apply_one(i);
+    }
+    // Mid-stream checkpoint: refactorize, save, rotate the log, collect
+    // the stale segment.
+    writer.checkpoint_now().expect("checkpoint");
+    println!(
+        "checkpointed at epoch {}, log rotated to {}",
+        server.epoch(),
+        writer.wal_segment_path().expect("wal segment").display()
+    );
+    for i in 25..40u64 {
+        apply_one(i);
+    }
+    let epoch = server.epoch();
+    println!(
+        "40 updates + 1 checkpoint in {:.3} s, writer acknowledged epoch {epoch}",
+        start.elapsed().as_secs_f64()
+    );
+
+    println!("\n== simulated crash (torn record appended to the segment) ==");
+    let segment = writer.wal_segment_path().expect("wal segment");
+    drop(writer);
+    let mut bytes = std::fs::read(&segment).expect("read segment");
+    bytes.extend_from_slice(&[0x7F; 11]);
+    std::fs::write(&segment, &bytes).expect("tear segment");
+    println!("appended 11 garbage bytes to {}", segment.display());
+
+    println!("\n== recover ==");
+    let start = Instant::now();
+    let (recovered, _writer, outcome) =
+        IndexWriter::warm_start_durable(&ckpt, &wal_dir, WalSync::EveryRecord, {
+            ServeOptions::with_workers(1)
+        })
+        .expect("recover");
+    println!(
+        "recovered to epoch {} in {:.4} s: {} segment(s), {} record(s) scanned, \
+         {} skipped (<= checkpoint watermark {}), {} replayed, {} torn byte(s) discarded",
+        recovered.epoch(),
+        start.elapsed().as_secs_f64(),
+        outcome.log.segments,
+        outcome.log.records,
+        outcome.replay.skipped,
+        outcome.replay.watermark,
+        outcome.replay.applied,
+        outcome.log.truncated_bytes
+    );
+    assert_eq!(
+        recovered.epoch(),
+        epoch,
+        "recovery missed acknowledged epochs"
+    );
+    for id in recovered.snapshot().item_ids().into_iter().step_by(97) {
+        assert_eq!(
+            server.query_by_id(id, 5).expect("live query"),
+            recovered.query_by_id(id, 5).expect("recovered query"),
+            "recovered answers diverged at id {id}"
+        );
+    }
+    println!("verified: recovered answers are bit-identical to the uncrashed writer");
+
+    println!("\n== wal_inspect ==");
+    wal_inspect(&wal_dir);
+}
+
 fn demo() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("target");
     std::fs::create_dir_all(&dir).expect("create target dir");
@@ -171,7 +319,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: mogul_index [save <path> [--items N] [--dim D] [--knn K] [--exact] [--immutable]\n\
          \x20                | inspect <path>\n\
-         \x20                | load <path> [--query ID] [--k K]]\n\
+         \x20                | load <path> [--query ID] [--k K]\n\
+         \x20                | wal_demo [dir]\n\
+         \x20                | wal_inspect <dir>]\n\
          with no arguments: run the self-contained demo"
     );
     std::process::exit(2)
@@ -194,6 +344,15 @@ fn main() {
         demo();
         return;
     }
+    if args[0] == "wal_demo" {
+        let dir = args.get(1).map(PathBuf::from).unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("target")
+                .join("wal_demo")
+        });
+        wal_demo(&dir);
+        return;
+    }
     let path = PathBuf::from(args.get(1).cloned().unwrap_or_else(|| usage()));
     match args[0].as_str() {
         "save" => {
@@ -210,6 +369,7 @@ fn main() {
             );
         }
         "inspect" => inspect(&path),
+        "wal_inspect" => wal_inspect(&path),
         "load" => {
             load(
                 &path,
