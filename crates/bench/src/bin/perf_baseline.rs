@@ -302,8 +302,10 @@ fn main() {
     // at least 10x faster than redoing the whole precompute (k-NN graph +
     // clustering/ordering + LDL^T factorization + bounds) at 8k items.
     let cold_speedup;
+    let cold_m = if smoke { 2_000 } else { 8_000 };
+    let mono_precompute_secs;
     {
-        let m = if smoke { 2_000 } else { 8_000 };
+        let m = cold_m;
         let cold_features: Vec<Vec<f64>> = dataset.features()[..m].to_vec();
         eprintln!("perf_baseline: cold-start scenario over {m} items ...");
         let pre_start = Instant::now();
@@ -314,6 +316,7 @@ fn main() {
             OutOfSampleIndex::new(cold_index, cold_features, OutOfSampleConfig::default())
                 .expect("attach features");
         let precompute_secs = pre_start.elapsed().as_secs_f64();
+        mono_precompute_secs = precompute_secs;
 
         let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("..")
@@ -344,6 +347,109 @@ fn main() {
         });
         let load_p50_secs = percentile_us(&results[results.len() - 2].latencies, 0.50) / 1e6;
         cold_speedup = precompute_secs / load_p50_secs.max(1e-12);
+    }
+
+    // -- sharding: partitioned precompute + scatter-gather queries ----------
+    // `shard_precompute` builds an S=4 sharded index (parallel scoped
+    // threads) over the same corpus the cold-start scenario precomputes
+    // monolithically, so the two rows are directly comparable;
+    // `shard_precompute_serial` is the same partitioned build with the
+    // parallel knob off, isolating the thread win from the partitioning
+    // win. `shard_query_s{1,4}` time the scatter-gather in-database path.
+    //
+    // Gates: the partitioned build must not be slower than the monolithic
+    // one (each shard's k-NN graph and factorization are superlinear in
+    // shard size, so partitioning alone pays even on one core); the
+    // parallel-vs-serial ratio is asserted only when this container
+    // actually has more than one core.
+    let shard_ratio;
+    {
+        let shards = 4usize;
+        let shard_features: Vec<Vec<f64>> = dataset.features()[..cold_m].to_vec();
+        eprintln!("perf_baseline: sharded scenario over {cold_m} items ({shards} shards) ...");
+        let sharded_builder = mogul_core::update::IndexBuilder::new().knn_k(10);
+        let config = mogul_core::ShardedConfig::with_shards(shards).builder(sharded_builder);
+
+        let start = Instant::now();
+        let (sharded, report) =
+            mogul_core::ShardedIndex::build(shard_features.clone(), config.parallel(true))
+                .expect("sharded build");
+        let parallel_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let (_serial, _) =
+            mogul_core::ShardedIndex::build(shard_features.clone(), config.parallel(false))
+                .expect("serial sharded build");
+        let serial_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let (single, _) = mogul_core::ShardedIndex::build(
+            shard_features,
+            mogul_core::ShardedConfig::with_shards(1).builder(sharded_builder),
+        )
+        .expect("single-shard build");
+        let s1_secs = start.elapsed().as_secs_f64();
+
+        results.push(ScenarioResult {
+            name: "shard_precompute",
+            latencies: vec![parallel_secs],
+            queries_per_iter: 1,
+        });
+        results.push(ScenarioResult {
+            name: "shard_precompute_serial",
+            latencies: vec![serial_secs],
+            queries_per_iter: 1,
+        });
+
+        shard_ratio = mono_precompute_secs / parallel_secs.max(1e-12);
+        let parallel_ratio = serial_secs / parallel_secs.max(1e-12);
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        eprintln!(
+            "  sharded precompute: {shard_ratio:.2}x vs monolithic, parallel {parallel_ratio:.2}x \
+             vs serial ({cores} cores; s1 build {s1_secs:.2}s)"
+        );
+        assert!(
+            report.parallel || cores == 1,
+            "the parallel build must use scoped threads when cores are available"
+        );
+        if cores > 1 {
+            assert!(
+                parallel_ratio >= 1.0,
+                "gate: the parallel sharded build must not be slower than the serial one \
+                 on a {cores}-core container (got {parallel_ratio:.2}x)"
+            );
+        }
+
+        // Scatter-gather query rows: identical ids against S=1 and S=4.
+        let snapshot_s4 = sharded.snapshot();
+        let snapshot_s1 = single.snapshot();
+        let shard_queries: Vec<usize> = (0..128).map(|i| (i * 131) % cold_m).collect();
+        let mut shard_ws = mogul_core::ShardedWorkspace::new();
+        for &q in &shard_queries[..8] {
+            snapshot_s4
+                .query_by_id_in(&mut shard_ws, q, 10)
+                .expect("warm sharded query");
+        }
+        for (name, snapshot) in [
+            ("shard_query_s1", &snapshot_s1),
+            ("shard_query_s4", &snapshot_s4),
+        ] {
+            let mut latencies = Vec::new();
+            for _ in 0..rounds {
+                for &q in &shard_queries {
+                    let start = Instant::now();
+                    snapshot
+                        .query_by_id_in(&mut shard_ws, q, 10)
+                        .expect("sharded query");
+                    latencies.push(start.elapsed().as_secs_f64());
+                }
+            }
+            results.push(ScenarioResult {
+                name,
+                latencies,
+                queries_per_iter: 1,
+            });
+        }
     }
 
     // -- crash recovery: checkpoint + WAL replay ----------------------------
@@ -448,6 +554,11 @@ fn main() {
             "smoke gate: loading a saved index must not be slower than precompute \
              (got {cold_speedup:.2}x)"
         );
+        assert!(
+            shard_ratio >= 0.8,
+            "smoke gate: the partitioned S=4 precompute must be at least on par with \
+             the monolithic one (got {shard_ratio:.2}x)"
+        );
     } else {
         assert!(
             serve_speedup >= 2.0,
@@ -458,6 +569,11 @@ fn main() {
             cold_speedup >= 10.0,
             "acceptance gate: loading a saved 8k-item index must be >= 10x faster than \
              precompute from scratch (got {cold_speedup:.2}x)"
+        );
+        assert!(
+            shard_ratio >= 1.0,
+            "acceptance gate: the partitioned S=4 precompute must not be slower than \
+             the monolithic one at 8k items (got {shard_ratio:.2}x)"
         );
     }
 

@@ -27,7 +27,11 @@
 //! a versioned, checksummed on-disk format (`MOG1`) that saves a complete
 //! serving-ready index — factors, ordering, bounds, features, graph and the
 //! clean-epoch updatable state — and loads it back with zero precompute and
-//! bit-identical query answers.
+//! bit-identical query answers. [`shard`] makes it **partitionable**: a
+//! [`shard::ShardedIndex`] splits the corpus into `S` cluster-aligned
+//! independent shards (parallel precompute, scatter-gather top-k with
+//! lossless in-database shard skipping, per-shard rebuild debt, and a
+//! checksummed multi-file manifest).
 //!
 //! All solvers implement the [`Ranker`] trait so the evaluation harness can
 //! treat them uniformly.
@@ -46,6 +50,7 @@ pub mod out_of_sample;
 pub mod params;
 pub mod persist;
 pub mod ranking;
+pub mod shard;
 pub mod topk;
 pub mod update;
 pub mod wal;
@@ -63,6 +68,10 @@ pub use out_of_sample::{OosWorkspace, OutOfSampleConfig, OutOfSampleIndex, OutOf
 pub use params::MrParams;
 pub use persist::{IndexFileInfo, PersistError};
 pub use ranking::{RankedNode, Ranker, TopKResult};
+pub use shard::{
+    inspect_manifest, load_sharded, save_sharded, ShardManifestInfo, ShardRouter,
+    ShardScatterStats, ShardedConfig, ShardedIndex, ShardedSnapshot, ShardedWorkspace,
+};
 pub use topk::{f64_sort_key, BoundedTopK};
 pub use update::{
     IndexBuilder, IndexDelta, IndexSnapshot, RebuildDebt, RebuildPolicy, SnapshotWorkspace,

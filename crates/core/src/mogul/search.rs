@@ -54,6 +54,20 @@ pub struct SearchStats {
     pub bound_evaluations: usize,
 }
 
+impl SearchStats {
+    /// Fold another search's counters into this one.
+    ///
+    /// Scatter-gather over a sharded index answers one logical query with
+    /// several per-shard searches; the caller-visible stats must be the sum
+    /// of all of them, not whichever shard happened to finish last.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.clusters_considered += other.clusters_considered;
+        self.clusters_pruned += other.clusters_pruned;
+        self.nodes_scored += other.nodes_scored;
+        self.bound_evaluations += other.bound_evaluations;
+    }
+}
+
 /// Reusable per-query scratch for Algorithm 2.
 ///
 /// One search touches three `O(n)` vectors (the densified query vector, the

@@ -308,6 +308,26 @@ impl OutOfSampleIndex {
         Ok(out)
     }
 
+    /// Smallest squared Euclidean distance from `feature` to any non-empty
+    /// cluster centroid of this index, or `None` when the index holds no
+    /// non-empty cluster or `feature` has the wrong dimension.
+    ///
+    /// This is the routing signal of the sharded index: a query or insert is
+    /// sent to the shard whose nearest centroid is nearest overall — the same
+    /// centroids phase 1 of the out-of-sample search probes, so routing and
+    /// in-shard cluster selection agree with each other.
+    pub fn min_centroid_distance2(&self, feature: &[f64]) -> Option<f64> {
+        let dim = self.features.first().map_or(0, |f| f.len());
+        if feature.len() != dim || !feature.iter().all(|v| v.is_finite()) {
+            return None;
+        }
+        self.centroids
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| mogul_sparse::vector::squared_euclidean_unchecked(feature, c))
+            .min_by(f64::total_cmp)
+    }
+
     /// Phase 1 of Section 4.6.2 (shared by the scalar and batched paths):
     /// validate `feature`, find the nearest non-empty cluster(s), select the
     /// `num_neighbors` nearest members, and leave the selected `(node,

@@ -201,7 +201,7 @@ impl std::error::Error for PersistError {
     }
 }
 
-fn io_err(op: &'static str, path: Option<&Path>, err: std::io::Error) -> PersistError {
+pub(crate) fn io_err(op: &'static str, path: Option<&Path>, err: std::io::Error) -> PersistError {
     let detail = match path {
         Some(p) => format!("{}: {err}", p.display()),
         None => err.to_string(),
@@ -234,6 +234,8 @@ pub enum SectionKind {
     Updatable,
     /// The EMR baseline's anchor-graph state.
     Emr,
+    /// The sharded-index manifest (shard files, checksums, id ranges).
+    ShardManifest,
 }
 
 impl SectionKind {
@@ -249,6 +251,7 @@ impl SectionKind {
             SectionKind::Graph => 7,
             SectionKind::Updatable => 8,
             SectionKind::Emr => 9,
+            SectionKind::ShardManifest => 10,
         }
     }
 
@@ -264,6 +267,7 @@ impl SectionKind {
             7 => SectionKind::Graph,
             8 => SectionKind::Updatable,
             9 => SectionKind::Emr,
+            10 => SectionKind::ShardManifest,
             _ => return None,
         })
     }
@@ -280,6 +284,7 @@ impl SectionKind {
             SectionKind::Graph => "graph",
             SectionKind::Updatable => "updatable",
             SectionKind::Emr => "emr",
+            SectionKind::ShardManifest => "shard-manifest",
         }
     }
 }
@@ -402,10 +407,11 @@ impl<W: Write> SectionWriter<W> {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
-struct RawSection<'a> {
-    code: u32,
-    offset: usize,
-    bytes: &'a [u8],
+pub(crate) struct RawSection<'a> {
+    pub(crate) code: u32,
+    #[allow(dead_code)]
+    pub(crate) offset: usize,
+    pub(crate) bytes: &'a [u8],
 }
 
 fn read_u64_at(bytes: &[u8], at: usize) -> u64 {
@@ -415,7 +421,7 @@ fn read_u64_at(bytes: &[u8], at: usize) -> u64 {
 /// Validate the container structure and every checksum, returning the raw
 /// sections. This is the only path into the payload bytes: nothing is
 /// interpreted before its checksum has been verified.
-fn parse_container(bytes: &[u8]) -> Result<Vec<RawSection<'_>>, PersistError> {
+pub(crate) fn parse_container(bytes: &[u8]) -> Result<Vec<RawSection<'_>>, PersistError> {
     if bytes.len() < 4 {
         return Err(PersistError::Truncated {
             what: "file header",
@@ -514,7 +520,7 @@ fn parse_container(bytes: &[u8]) -> Result<Vec<RawSection<'_>>, PersistError> {
     Ok(sections)
 }
 
-fn find_section<'a>(
+pub(crate) fn find_section<'a>(
     sections: &'a [RawSection<'a>],
     kind: SectionKind,
 ) -> Result<&'a [u8], PersistError> {
@@ -902,7 +908,7 @@ pub fn save_emr(solver: &EmrSolver, path: impl AsRef<Path>) -> Result<(), Persis
 /// replacing a good previous checkpoint with a torn one), and the parent
 /// directory is fsynced after it on a best-effort basis so the rename
 /// itself is durable.
-fn save_file(
+pub(crate) fn save_file(
     path: &Path,
     write: impl FnOnce(&mut std::io::BufWriter<&std::fs::File>) -> Result<(), PersistError>,
 ) -> Result<(), PersistError> {

@@ -515,6 +515,13 @@ impl UpdatableIndex {
         })
     }
 
+    /// The next stable id this index would assign (ids are never reused).
+    /// The sharded manifest loader pins this against the recorded overflow
+    /// history to reject stale or swapped shard files.
+    pub(crate) fn next_stable_id(&self) -> usize {
+        self.next_id
+    }
+
     // -- persistence hooks (see `crate::persist`) -----------------------------
 
     /// Borrow the state the persistence layer stores, or `None` unless the

@@ -10,13 +10,17 @@
 //!   anchor points and by spectral clustering.
 //! * [`spectral`] — normalized spectral clustering; used by the FMR baseline
 //!   to partition the adjacency matrix into blocks.
+//! * [`partition`] — cluster-aligned corpus partitioning for the sharded
+//!   multi-index (`mogul-core::shard`).
 
 pub mod kmeans;
 pub mod labels;
 pub mod modularity;
+pub mod partition;
 pub mod spectral;
 
 pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
 pub use labels::Clustering;
 pub use modularity::{modularity_clustering, modularity_score, ModularityConfig};
+pub use partition::{partition_points, PartitionConfig};
 pub use spectral::{spectral_clustering, SpectralConfig};

@@ -44,6 +44,13 @@
 //!   ([`QueryServer::install_snapshot`]). In-flight queries finish on the
 //!   epoch they started with — **zero downtime**, no query ever waits on a
 //!   writer.
+//! * [`ShardedServer`] / [`ShardedWriter`] — the same serving contract over
+//!   a [`ShardedIndex`](mogul_core::ShardedIndex): scatter-gather queries
+//!   against an epoch-versioned sharded snapshot (each batch observes every
+//!   shard at exactly one epoch, even while shards rebuild one at a time),
+//!   updates routed to their owning shard so only the touched shard accrues
+//!   rebuild debt, and warm start from a manifested shard directory. See
+//!   `docs/SHARDING.md`.
 //! * [`ServeOptions`] — validated configuration through
 //!   [`ServeOptions::builder`]: worker count, batch [`Dispatch`] strategy,
 //!   admission-queue capacity and per-connection cap. Invalid configurations
@@ -74,12 +81,14 @@ pub mod net;
 mod options;
 mod request;
 mod server;
+mod sharded;
 mod updater;
 
 pub use error::{ServeError, ServeResult};
 pub use options::{Dispatch, ServeOptions, ServeOptionsBuilder, MAX_QUEUE_CAPACITY, MAX_WORKERS};
 pub use request::{QueryRequest, QueryResponse, UpdateRequest};
 pub use server::QueryServer;
+pub use sharded::{ShardedServer, ShardedWriter};
 pub use updater::IndexWriter;
 
 /// Re-export of the persistence error type surfaced by the warm-start and
@@ -102,8 +111,12 @@ fn static_assert_shared_state_is_send_sync() {
     check::<mogul_core::RetrievalEngine>();
     check::<mogul_core::update::IndexSnapshot>();
     check::<mogul_core::update::UpdatableIndex>();
+    check::<mogul_core::ShardedSnapshot>();
+    check::<mogul_core::ShardedIndex>();
     check::<QueryServer>();
     check::<IndexWriter>();
+    check::<ShardedServer>();
+    check::<ShardedWriter>();
     check::<QueryRequest>();
     check::<QueryResponse>();
     check::<UpdateRequest>();

@@ -23,7 +23,7 @@
 use crate::error::ServeResult;
 use crate::ServeError;
 use mogul_core::update::IndexSnapshot;
-use mogul_core::{OutOfSampleResult, TopKResult};
+use mogul_core::{OutOfSampleResult, ShardedSnapshot, TopKResult};
 
 /// One top-k request — the canonical query shape of the serving layer,
 /// in-process and on the wire alike.
@@ -85,6 +85,20 @@ impl QueryRequest {
     ///
     /// Returns [`ServeError::BadRequest`] naming the violation.
     pub fn validate(&self, snapshot: &IndexSnapshot) -> ServeResult<()> {
+        self.validate_against(|node| snapshot.contains(node), snapshot.feature_dim())
+    }
+
+    /// Admission-time validation against a [`ShardedSnapshot`] — exactly
+    /// the checks of [`QueryRequest::validate`], with item liveness resolved
+    /// through the shard router (a global id is live iff its owning shard
+    /// still holds it).
+    pub fn validate_sharded(&self, snapshot: &ShardedSnapshot) -> ServeResult<()> {
+        self.validate_against(|node| snapshot.contains(node), snapshot.feature_dim())
+    }
+
+    /// The shared admission checks, abstracted over how a snapshot answers
+    /// "is this stable id live?" and what feature dimension it serves.
+    fn validate_against(&self, contains: impl Fn(usize) -> bool, dim: usize) -> ServeResult<()> {
         if self.k() == 0 {
             return Err(ServeError::bad_request(
                 "the number of requested answer nodes k must be at least 1",
@@ -92,14 +106,13 @@ impl QueryRequest {
         }
         match self {
             QueryRequest::InDatabase { node, .. } => {
-                if !snapshot.contains(*node) {
+                if !contains(*node) {
                     return Err(ServeError::bad_request(format!(
                         "item {node} is not in this snapshot (never inserted, or removed)"
                     )));
                 }
             }
             QueryRequest::OutOfSample { feature, .. } => {
-                let dim = snapshot.feature_dim();
                 if feature.len() != dim {
                     return Err(ServeError::bad_request(format!(
                         "query feature has dimension {} but the index holds \

@@ -1,0 +1,252 @@
+//! Sharded serving under concurrent load.
+//!
+//! The contract under test: a [`ShardedServer`] batch reads its
+//! [`ShardedSnapshot`] exactly once, so every answer of one batch observes
+//! **every shard at exactly one epoch** — even while a writer applies
+//! routed updates and rebuilds shards one at a time. A torn merge (shard 0
+//! from the old snapshot, shard 1 from the new) would make two identical
+//! requests inside one batch disagree; the tests below run exactly that
+//! detector while hammering the writer. Routing isolation (updates only
+//! dirty their owning shard) and shard-skip statistics are pinned alongside.
+
+use mogul_core::update::{IndexBuilder, RebuildPolicy};
+use mogul_core::{ShardedConfig, ShardedIndex};
+use mogul_serve::{QueryRequest, ServeError, ShardedWriter, UpdateRequest};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const QUERY_K: usize = 4;
+
+/// Two well-separated clusters of 24 items each; a 2-shard partition
+/// recovers them, so globals 0..24 land in one shard and 24..48 in the
+/// other. Probe ids stay in 0..6 and are never removed.
+fn features() -> Vec<Vec<f64>> {
+    let mut features = Vec::new();
+    for i in 0..24 {
+        features.push(vec![0.08 * i as f64, 0.04 * (i % 5) as f64]);
+    }
+    for i in 0..24 {
+        features.push(vec![100.0 + 0.08 * i as f64, 9.0 + 0.04 * (i % 5) as f64]);
+    }
+    features
+}
+
+fn build_sharded(policy: RebuildPolicy) -> ShardedIndex {
+    let config = ShardedConfig::with_shards(2).builder(
+        IndexBuilder::new()
+            .knn_k(4)
+            .exact_ranking()
+            .rebuild_policy(policy),
+    );
+    let (index, report) = ShardedIndex::build(features(), config).unwrap();
+    assert!(
+        report.groups.iter().all(|g| g.len() == 24),
+        "partition must recover the two clusters"
+    );
+    index
+}
+
+/// Baseline: server answers equal the snapshot's own answers, per-request
+/// failures stay per-request, and mixed batches preserve order.
+#[test]
+fn sharded_server_matches_its_snapshot_and_fails_per_request() {
+    let index = build_sharded(RebuildPolicy::default());
+    let snapshot = index.snapshot();
+    let (server, _writer) = ShardedWriter::new(index);
+
+    let requests = vec![
+        QueryRequest::in_database(0, QUERY_K),
+        QueryRequest::out_of_sample(vec![0.2, 0.05], QUERY_K),
+        QueryRequest::in_database(30, QUERY_K),
+        QueryRequest::in_database(9999, QUERY_K), // unknown id
+        QueryRequest::out_of_sample(vec![1.0], QUERY_K), // wrong dimension
+        QueryRequest::in_database(1, 0),          // zero k
+        QueryRequest::in_database(1, QUERY_K),
+    ];
+    let answers = server.serve_batch(&requests);
+
+    let mut ws = mogul_core::ShardedWorkspace::new();
+    for (i, id) in [(0usize, 0usize), (2, 30), (6, 1)] {
+        let got = answers[i].as_ref().unwrap().top_k();
+        let want = snapshot.query_by_id_in(&mut ws, id, QUERY_K).unwrap();
+        assert_eq!(got, &want, "request {i}");
+    }
+    let got = answers[1].as_ref().unwrap().out_of_sample().unwrap();
+    let want = snapshot
+        .query_by_feature_in(&mut ws, &[0.2, 0.05], QUERY_K)
+        .unwrap();
+    assert_eq!(got.top_k, want.top_k);
+    for i in [3, 4, 5] {
+        assert!(
+            matches!(answers[i], Err(ServeError::BadRequest { .. })),
+            "request {i} must be rejected at admission: {:?}",
+            answers[i]
+        );
+    }
+}
+
+/// Inserts routed to shard 0 never dirty shard 1: its snapshot epoch stays
+/// at 0 and it carries no rebuild debt — maintenance cost is per-shard.
+#[test]
+fn updates_only_dirty_their_owning_shard() {
+    let index = build_sharded(RebuildPolicy::never());
+    let (server, writer) = ShardedWriter::new(index);
+
+    let mut inserted = Vec::new();
+    for step in 0..3 {
+        let report = writer
+            .apply(&[UpdateRequest::insert(vec![0.5 + 0.01 * step as f64, 0.1])])
+            .unwrap();
+        inserted.push(report.inserted[0]);
+    }
+    let epochs = writer.shard_epochs();
+    assert_eq!(epochs[1], 0, "untouched shard must stay at epoch 0");
+    assert_eq!(epochs[0], 3, "owning shard advances once per delta");
+    assert_eq!(server.snapshot().shard_epochs(), epochs);
+
+    // All three landed in shard 0 (the router agrees), and rebuilding the
+    // clean shard 1 is a no-op for its answers.
+    for &id in &inserted {
+        assert_eq!(server.snapshot().shard_of(id), Some(0));
+    }
+    let debts = writer.shard_debts();
+    assert_eq!(debts[1].support, 0, "clean shard carries no debt");
+    assert!(debts[0].support > 0, "dirty shard carries the debt");
+
+    // Per-shard rebuild: shard 0 comes back clean, shard 1 still at 0.
+    writer.rebuild_shard(0).unwrap();
+    let epochs = writer.shard_epochs();
+    assert_eq!(epochs[1], 0);
+    assert!(server.snapshot().is_clean());
+}
+
+/// In-database queries touch exactly one shard and out-of-sample queries
+/// probe only the configured nearest shards: the scatter statistics must
+/// report at least one shard pruned.
+#[test]
+fn scatter_stats_report_skipped_shards() {
+    let index = build_sharded(RebuildPolicy::default());
+    let (server, _writer) = ShardedWriter::new(index);
+
+    let (_, stats) = server
+        .query_with_stats(&QueryRequest::in_database(0, QUERY_K))
+        .unwrap();
+    assert_eq!(stats.shards_total, 2);
+    assert_eq!(stats.shards_probed, 1);
+    assert!(
+        stats.shards_skipped >= 1,
+        "in-db query must skip the foreign shard"
+    );
+
+    // shard_probes defaults to 1: the scatter prunes the far shard.
+    let (response, stats) = server
+        .query_with_stats(&QueryRequest::out_of_sample(vec![0.2, 0.05], QUERY_K))
+        .unwrap();
+    assert!(
+        stats.shards_skipped >= 1,
+        "out-of-sample scatter must prune the far shard"
+    );
+    assert!(
+        response.top_k().nodes().iter().all(|&id| id < 24),
+        "answers must come from the near shard"
+    );
+}
+
+/// The torn-merge detector: batches with duplicated requests race a writer
+/// that interleaves routed inserts, removals and single-shard rebuilds.
+/// Duplicates inside one batch must answer bit-identically (one snapshot,
+/// therefore one epoch per shard, for the whole batch), and the epoch
+/// observed by each reader must be monotone.
+#[test]
+fn batches_racing_shard_rebuilds_never_tear() {
+    // Tiny support ceiling: corrected epochs and full per-shard
+    // refactorizations both occur during the run.
+    let index = build_sharded(RebuildPolicy {
+        max_support: 12,
+        max_support_fraction: 1.0,
+    });
+    let (server, writer) = ShardedWriter::new(index);
+    let writer = Arc::new(writer);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for reader in 0..3 {
+        let server = Arc::clone(&server);
+        let done = Arc::clone(&done);
+        readers.push(thread::spawn(move || {
+            let probe = reader % 6;
+            let mut last_epoch = 0u64;
+            let mut batches = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                let requests = vec![
+                    QueryRequest::in_database(probe, QUERY_K),
+                    QueryRequest::out_of_sample(vec![0.3, 0.07], QUERY_K),
+                    QueryRequest::in_database(probe, QUERY_K),
+                    QueryRequest::out_of_sample(vec![0.3, 0.07], QUERY_K),
+                ];
+                let answers = server.serve_batch(&requests);
+                let a0 = answers[0].as_ref().expect("probe ids are never removed");
+                let a2 = answers[2].as_ref().expect("probe ids are never removed");
+                assert_eq!(
+                    a0.top_k(),
+                    a2.top_k(),
+                    "duplicate in-db requests in one batch disagreed: torn merge"
+                );
+                let b1 = answers[1].as_ref().unwrap().top_k();
+                let b3 = answers[3].as_ref().unwrap().top_k();
+                assert_eq!(
+                    b1, b3,
+                    "duplicate OOS requests in one batch disagreed: torn merge"
+                );
+
+                let epoch = server.epoch();
+                assert!(
+                    epoch >= last_epoch,
+                    "epoch went backwards: {epoch} < {last_epoch}"
+                );
+                last_epoch = epoch;
+                batches += 1;
+            }
+            batches
+        }));
+    }
+
+    // Writer: insert into alternating clusters (so both shards change and
+    // both answers drift between epochs), remove the previous insert, and
+    // rebuild each shard in turn.
+    let mut pending: Option<usize> = None;
+    for step in 0..40 {
+        let near_zero = step % 2 == 0;
+        let feature = if near_zero {
+            vec![0.4 + 0.005 * step as f64, 0.06]
+        } else {
+            vec![100.4 + 0.005 * step as f64, 9.06]
+        };
+        let mut updates = vec![UpdateRequest::insert(feature)];
+        if let Some(id) = pending.take() {
+            updates.push(UpdateRequest::remove(id));
+        }
+        let report = writer.apply(&updates).unwrap();
+        pending = Some(report.inserted[0]);
+        if step % 5 == 4 {
+            writer.rebuild_shard(step % 2).unwrap();
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let mut total = 0usize;
+    for reader in readers {
+        total += reader
+            .join()
+            .expect("reader panicked (tearing assertion failed)");
+    }
+    assert!(
+        total > 0,
+        "readers must have observed batches during the run"
+    );
+
+    // Post-race sanity: the final published snapshot and the writer's own
+    // state agree shard by shard.
+    assert_eq!(server.snapshot().shard_epochs(), writer.shard_epochs());
+}

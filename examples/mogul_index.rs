@@ -8,6 +8,7 @@
 //! cargo run --release --example mogul_index -- load <path> [--query ID] [--k K]
 //! cargo run --release --example mogul_index -- wal_demo [dir]
 //! cargo run --release --example mogul_index -- wal_inspect <dir>
+//! cargo run --release --example mogul_index -- shard_demo [dir] [--items N] [--shards S]
 //! ```
 //!
 //! * `save` builds an index over a deterministic synthetic corpus and writes
@@ -23,6 +24,12 @@
 //!   that never crashed. This is what the CI `wal-smoke` job runs.
 //! * `wal_inspect` validates a WAL directory (`MWAL` segments; see
 //!   `docs/PERSISTENCE.md`) read-only and prints the segment table.
+//! * `shard_demo` runs the sharding cycle (see `docs/SHARDING.md`): build a
+//!   cluster-aligned S-shard index, apply routed updates, checkpoint it as
+//!   a manifested shard directory, warm-start it back in parallel, and
+//!   verify the reloaded index answers bit-identically — including the
+//!   shard-skip statistics of the scatter-gather path. This is what the CI
+//!   `shard-smoke` job runs.
 //!
 //! With no arguments the demo performs the whole cycle (save → inspect →
 //! load → query → compare against the in-memory index) in `target/`, which
@@ -267,6 +274,106 @@ fn wal_demo(dir: &Path) {
     wal_inspect(&wal_dir);
 }
 
+fn shard_demo(dir: &Path, items: usize, shards: usize) {
+    use mogul_suite::core::{inspect_manifest, load_sharded, ShardedConfig, ShardedIndex};
+    use mogul_suite::serve::ShardedWriter;
+
+    let _ = std::fs::remove_dir_all(dir);
+    let dim = 16;
+
+    println!("== build ({items} items, {shards} shards) ==");
+    let features = corpus(items, dim);
+    let config = ShardedConfig::with_shards(shards).builder(
+        IndexBuilder::new()
+            .knn_k(5)
+            .rebuild_policy(mogul_suite::core::update::RebuildPolicy::never()),
+    );
+    let start = Instant::now();
+    let (index, report) = ShardedIndex::build(features.clone(), config).expect("sharded build");
+    let sizes: Vec<usize> = report.groups.iter().map(Vec::len).collect();
+    println!(
+        "partitioned precompute in {:.2} s (parallel = {}), shard sizes {:?}",
+        start.elapsed().as_secs_f64(),
+        report.parallel,
+        sizes
+    );
+
+    println!("\n== routed updates ==");
+    let (server, writer) = ShardedWriter::new(index);
+    let mut inserted = Vec::new();
+    for i in 0..6u64 {
+        let feature: Vec<f64> = (0..dim).map(|d| ((i * 7 + d as u64) % 10) as f64).collect();
+        let report = writer
+            .apply(&[UpdateRequest::insert(feature)])
+            .expect("apply insert");
+        inserted.push(report.inserted[0]);
+    }
+    writer
+        .apply(&[UpdateRequest::remove(inserted[0])])
+        .expect("apply remove");
+    println!(
+        "6 inserts + 1 removal routed; per-shard epochs {:?} (only owning shards advanced)",
+        writer.shard_epochs()
+    );
+
+    println!("\n== checkpoint ==");
+    let rebuilt = writer.checkpoint_clean().expect("checkpoint clean");
+    writer.save_to(dir).expect("save sharded");
+    let info = inspect_manifest(dir.join("manifest.mog1")).expect("inspect manifest");
+    println!(
+        "rebuilt shards {rebuilt:?}, wrote {} shard file(s) + manifest -> {}",
+        info.shards.len(),
+        dir.display()
+    );
+    for entry in &info.shards {
+        println!(
+            "  {:<18} ids [{}, {})  epoch {:>2}  {:>8} bytes  checksum {:016x}",
+            entry.file_name,
+            entry.id_base,
+            entry.id_base + entry.id_len,
+            entry.epoch,
+            entry.file_len,
+            entry.checksum
+        );
+    }
+
+    println!("\n== parallel warm start ==");
+    let start = Instant::now();
+    let loaded = load_sharded(dir).expect("load sharded");
+    println!(
+        "{} items across {} shards ready in {:.4} s (no precompute)",
+        loaded.len(),
+        loaded.num_shards(),
+        start.elapsed().as_secs_f64()
+    );
+
+    let live = server.snapshot();
+    let cold = loaded.snapshot();
+    assert_eq!(live.item_ids(), cold.item_ids());
+    for id in live.item_ids().into_iter().step_by(97) {
+        assert_eq!(
+            live.query_by_id(id, 5).expect("live query"),
+            cold.query_by_id(id, 5).expect("cold query"),
+            "reloaded answers diverged at id {id}"
+        );
+    }
+    println!("verified: warm-started answers are bit-identical to the live index");
+
+    let mut ws = mogul_suite::core::ShardedWorkspace::new();
+    let probe = live.item_ids()[0];
+    let (_, stats) = cold
+        .query_by_id_with_stats_in(&mut ws, probe, 5)
+        .expect("stats query");
+    println!(
+        "scatter: {} of {} shard(s) probed, {} skipped (block-diagonal bound)",
+        stats.shards_probed, stats.shards_total, stats.shards_skipped
+    );
+    assert!(
+        stats.shards_skipped >= 1 || shards == 1,
+        "in-database queries must skip every foreign shard"
+    );
+}
+
 fn demo() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("target");
     std::fs::create_dir_all(&dir).expect("create target dir");
@@ -321,7 +428,8 @@ fn usage() -> ! {
          \x20                | inspect <path>\n\
          \x20                | load <path> [--query ID] [--k K]\n\
          \x20                | wal_demo [dir]\n\
-         \x20                | wal_inspect <dir>]\n\
+         \x20                | wal_inspect <dir>\n\
+         \x20                | shard_demo [dir] [--items N] [--shards S]]\n\
          with no arguments: run the self-contained demo"
     );
     std::process::exit(2)
@@ -351,6 +459,23 @@ fn main() {
                 .join("wal_demo")
         });
         wal_demo(&dir);
+        return;
+    }
+    if args[0] == "shard_demo" {
+        let dir = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("target")
+                    .join("shard_demo")
+            });
+        shard_demo(
+            &dir,
+            parse_flag(&args, "--items", 1_200),
+            parse_flag(&args, "--shards", 4),
+        );
         return;
     }
     let path = PathBuf::from(args.get(1).cloned().unwrap_or_else(|| usage()));
