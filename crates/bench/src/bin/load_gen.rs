@@ -4,9 +4,13 @@
 //!
 //! ```text
 //! cargo run --release -p mogul-bench --bin load_gen -- --addr HOST:PORT [options]
-//!   --smoke     short run: closed-loop only, asserts zero shed at trivial
-//!               load, writes target/BENCH_query.net.smoke.json
-//!   --drain     send a drain request when done (shuts the server down)
+//!   --smoke          short run: closed-loop only, asserts zero shed at trivial
+//!                    load, writes target/BENCH_query.net.smoke.json
+//!   --drain          send a drain request when done (shuts the server down)
+//!   --chaos-seed N   also run a chaos loop: route queries through a seeded
+//!                    fault-injection proxy (drops, delays, truncations,
+//!                    bit-flips) behind a failover client, and assert every
+//!                    query still completes (row `net_chaos_c1`)
 //! ```
 //!
 //! Scenarios (rows are merged into the baseline file by name, alongside the
@@ -21,6 +25,10 @@
 //!   server must keep answering at its capacity and shed the excess with
 //!   typed `Overloaded` frames (the row records the *successful* completions;
 //!   shed counts go to stderr and are asserted > 0).
+//! * `net_chaos_c1` (with `--chaos-seed`) — closed loop through a
+//!   corrupting proxy, driven by the failover client: measures the
+//!   end-to-end latency of queries that may need retries, and asserts the
+//!   resilience contract (every query completes, zero non-typed failures).
 //!
 //! The generator never panics on a shed — typed `Overloaded`/`Draining`
 //! responses are part of the contract being measured.
@@ -29,6 +37,7 @@ use mogul_bench::baseline::{
     merge_rows, parse_scenarios, percentile_us, render_json, validate_json, ScenarioRow,
 };
 use mogul_serve::net::NetClient;
+use mogul_serve::resilience::{FaultPlan, FaultProxy, ReplicaSet, ReplicaSetConfig};
 use mogul_serve::{QueryRequest, ServeError};
 use std::time::{Duration, Instant};
 
@@ -36,12 +45,14 @@ struct Args {
     addr: String,
     smoke: bool,
     drain: bool,
+    chaos_seed: Option<u64>,
 }
 
 fn parse_args() -> Args {
     let mut addr = None;
     let mut smoke = false;
     let mut drain = false;
+    let mut chaos_seed = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -52,6 +63,13 @@ fn parse_args() -> Args {
             }
             "--smoke" => smoke = true,
             "--drain" => drain = true,
+            "--chaos-seed" => {
+                i += 1;
+                chaos_seed = Some(argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--chaos-seed needs an unsigned integer");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -60,10 +78,15 @@ fn parse_args() -> Args {
         i += 1;
     }
     let addr = addr.unwrap_or_else(|| {
-        eprintln!("usage: load_gen --addr HOST:PORT [--smoke] [--drain]");
+        eprintln!("usage: load_gen --addr HOST:PORT [--smoke] [--drain] [--chaos-seed N]");
         std::process::exit(2);
     });
-    Args { addr, smoke, drain }
+    Args {
+        addr,
+        smoke,
+        drain,
+        chaos_seed,
+    }
 }
 
 fn connect(addr: &str) -> NetClient {
@@ -248,6 +271,54 @@ fn main() {
             }
             rows.push(r);
         }
+    }
+
+    // -- chaos loop (with --chaos-seed): the resilience contract under
+    //    seeded frame corruption -------------------------------------------
+    if let Some(seed) = args.chaos_seed {
+        let upstream: std::net::SocketAddr = args
+            .addr
+            .parse()
+            .expect("--chaos-seed needs an explicit HOST:PORT --addr");
+        let plan = FaultPlan {
+            seed,
+            drop_per_mille: 40,
+            delay_per_mille: 30,
+            delay: Duration::from_millis(10),
+            truncate_per_mille: 30,
+            bit_flip_per_mille: 50,
+        };
+        let proxy = FaultProxy::spawn(upstream, plan).expect("spawn fault proxy");
+        let config = ReplicaSetConfig::builder()
+            .deadline(Duration::from_secs(10))
+            .attempt_timeout(Duration::from_millis(500))
+            .backoff_base(Duration::from_millis(1))
+            .backoff_cap(Duration::from_millis(20))
+            .build()
+            .expect("chaos replica-set config");
+        let mut set = ReplicaSet::new(&[proxy.addr()], config).expect("chaos replica set");
+        let total = if args.smoke { 50 } else { 400 };
+        let mut latencies = Vec::with_capacity(total);
+        let started = Instant::now();
+        for i in 0..total {
+            let request = QueryRequest::in_database((i * 131) % items, 10);
+            let start = Instant::now();
+            // The contract under chaos: every query completes — retries and
+            // failover absorb the corruption, never the caller.
+            let (response, status) = set
+                .query(&request)
+                .unwrap_or_else(|err| panic!("chaos query {i} failed: {err}"));
+            assert!(status.is_complete(), "single healthy replica: no degrades");
+            assert_eq!(response.top_k().len(), 10);
+            latencies.push(start.elapsed().as_secs_f64());
+        }
+        let wall = started.elapsed();
+        let r = row("net_chaos_c1", &latencies, total, wall);
+        eprintln!(
+            "  {:<16} p50 {:>9.1} us   p95 {:>9.1} us   {:>9.0} q/s   seed {seed}  ({total} queries, all completed)",
+            r.name, r.p50_us, r.p95_us, r.qps
+        );
+        rows.push(r);
     }
 
     // -- server-side accounting --------------------------------------------

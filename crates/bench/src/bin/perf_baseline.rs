@@ -44,12 +44,88 @@ use mogul_core::{
 };
 use mogul_data::web::{web_like, WebLikeConfig};
 use mogul_graph::knn::{knn_graph, KnnConfig};
-use mogul_serve::{Dispatch, QueryRequest, QueryServer, ServeOptions};
+use mogul_serve::net::NetServer;
+use mogul_serve::resilience::{ReplicaSet, ReplicaSetConfig};
+use mogul_serve::{
+    Dispatch, QueryRequest, QueryServer, ServeError, ServeOptions, ShardFault, ShardedWriter,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Batch size of the batched scenarios (the acceptance gate measures ≥ 32).
 const BATCH: usize = 32;
+
+/// When set, this binary runs as one replica of the failover scenario
+/// instead of benchmarking: serve a small sharded index, publish the bound
+/// address to the named file, run until killed.
+const REPLICA_ADDR_FILE_ENV: &str = "MOGUL_BENCH_REPLICA_ADDR_FILE";
+
+/// The small deterministic 3-shard corpus shared by the replica child
+/// processes and the in-process degraded scenario. Every process builds it
+/// identically, so replicas are interchangeable.
+fn resilience_index() -> mogul_core::ShardedIndex {
+    let mut features = Vec::new();
+    for c in 0..3 {
+        for i in 0..32 {
+            features.push(vec![
+                100.0 * c as f64 + 0.05 * i as f64,
+                10.0 * c as f64 + 0.02 * (i % 7) as f64,
+            ]);
+        }
+    }
+    let config = mogul_core::ShardedConfig::with_shards(3)
+        .shard_probes(3)
+        .builder(IndexBuilder::new().knn_k(4).exact_ranking());
+    let (index, _report) =
+        mogul_core::ShardedIndex::build(features, config).expect("resilience corpus");
+    index
+}
+
+/// The replica-child body: bind a sharded front door, publish the address
+/// atomically (write + rename), serve until SIGKILLed by the parent.
+fn run_replica_child(addr_file: std::path::PathBuf) {
+    let (server, _writer) = ShardedWriter::new(resilience_index());
+    let options = ServeOptions::builder()
+        .workers(2)
+        .queue_capacity(64)
+        .build()
+        .expect("serve options");
+    let net = NetServer::bind_sharded("127.0.0.1:0", server, options).expect("bind replica");
+    let tmp = addr_file.with_extension("tmp");
+    std::fs::write(&tmp, format!("{}\n", net.local_addr())).expect("write addr file");
+    std::fs::rename(&tmp, &addr_file).expect("publish addr file");
+    let _ = net.run();
+}
+
+/// Spawn this binary as a replica child and wait for its published address.
+fn spawn_bench_replica(
+    dir: &std::path::Path,
+    tag: &str,
+) -> (std::process::Child, std::net::SocketAddr) {
+    let addr_file = dir.join(format!("replica-{tag}.addr"));
+    let _ = std::fs::remove_file(&addr_file);
+    let exe = std::env::current_exe().expect("current exe");
+    let child = std::process::Command::new(&exe)
+        .env(REPLICA_ADDR_FILE_ENV, &addr_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn replica child");
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica child never published its address"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    (child, addr)
+}
 
 struct ScenarioResult {
     name: &'static str,
@@ -96,6 +172,11 @@ fn time_rounds(
 }
 
 fn main() {
+    // Replica-child mode never benchmarks: it serves until killed.
+    if let Some(addr_file) = std::env::var_os(REPLICA_ADDR_FILE_ENV) {
+        run_replica_child(std::path::PathBuf::from(addr_file));
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     // Fixed sizes: large enough that the full run reflects serving reality,
     // small enough that the smoke run finishes in CI seconds.
@@ -519,6 +600,89 @@ fn main() {
             name: "cold_start_replay",
             latencies: replay_latencies,
             queries_per_iter: 1,
+        });
+    }
+
+    // -- resilience: failover latency + degraded scatter --------------------
+    // `failover_p50` measures the client-visible cost of losing the replica
+    // a query was routed to: per round, stand up two real replica
+    // processes, SIGKILL the one the replica set's cursor prefers, and
+    // time the next query end to end (dead-connection detection + failover
+    // + answer). `degraded_query` times the sharded degraded path itself
+    // with one of three shards failed — the overhead of answering from the
+    // survivors.
+    {
+        let failover_rounds = if smoke { 3 } else { 8 };
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("target")
+            .join("BENCH_replicas");
+        std::fs::create_dir_all(&dir).expect("create replica dir");
+        eprintln!("perf_baseline: failover scenario ({failover_rounds} kill rounds) ...");
+        let mut latencies = Vec::new();
+        for round in 0..failover_rounds {
+            let (mut a, addr_a) = spawn_bench_replica(&dir, &format!("{round}-a"));
+            let (mut b, addr_b) = spawn_bench_replica(&dir, &format!("{round}-b"));
+            let config = ReplicaSetConfig::builder()
+                .deadline(std::time::Duration::from_secs(8))
+                .attempt_timeout(std::time::Duration::from_millis(500))
+                .backoff_base(std::time::Duration::from_millis(1))
+                .backoff_cap(std::time::Duration::from_millis(20))
+                .build()
+                .expect("replica set config");
+            let mut set = ReplicaSet::new(&[addr_a, addr_b], config).expect("replica set");
+            let request = QueryRequest::in_database((round * 17) % 96, 10);
+            let (_, status) = set.query(&request).expect("warm failover query");
+            assert!(status.is_complete());
+            // Kill the replica the cursor prefers; time the failover.
+            let victim = set.current_replica();
+            let (victim_child, survivor_child) = if victim == addr_a {
+                (&mut a, &mut b)
+            } else {
+                (&mut b, &mut a)
+            };
+            let _ = victim_child.kill();
+            let _ = victim_child.wait();
+            let start = Instant::now();
+            let (_, status) = set.query(&request).expect("failover query");
+            latencies.push(start.elapsed().as_secs_f64());
+            assert!(status.is_complete(), "the surviving replica is whole");
+            let _ = survivor_child.kill();
+            let _ = survivor_child.wait();
+        }
+        // "qps" reads as failovers per second for this row; p50/p95 are the
+        // interesting columns.
+        results.push(ScenarioResult {
+            name: "failover_p50",
+            latencies,
+            queries_per_iter: 1,
+        });
+
+        // Degraded scatter, in process: one of three shards failed.
+        let (server, _writer) = ShardedWriter::new(resilience_index());
+        server.set_fault_injector(Some(Arc::new(|shard| {
+            (shard == 1).then(|| {
+                ShardFault::Error(ServeError::Config {
+                    reason: "bench fault".into(),
+                })
+            })
+        })));
+        let degraded_request = QueryRequest::out_of_sample(vec![0.5, 0.01], 10);
+        let (_, status) = server
+            .query_degraded(&degraded_request, false)
+            .expect("warm degraded query");
+        assert!(status.is_degraded(), "the bench fault must degrade");
+        let (latencies, per_iter) = time_rounds(rounds * 16, 1, || {
+            let (_, status) = server
+                .query_degraded(&degraded_request, false)
+                .expect("degraded query");
+            debug_assert!(status.is_degraded());
+        });
+        results.push(ScenarioResult {
+            name: "degraded_query",
+            latencies,
+            queries_per_iter: per_iter,
         });
     }
 

@@ -36,6 +36,11 @@ pub struct ShardScatterStats {
     /// Shards skipped by the zero cross-shard bound (in-database queries)
     /// or by centroid-distance routing (out-of-sample queries).
     pub shards_skipped: usize,
+    /// Probed shards that failed to answer. Always `0` on the in-process
+    /// query paths of this module (a shard error fails the whole query);
+    /// the serving layer's degraded scatter-gather sets it when it drops a
+    /// faulted shard from the merge.
+    pub shards_failed: usize,
     /// Per-shard search counters, summed over every probed shard — never
     /// clobbered by whichever shard answered last.
     pub search: SearchStats,
@@ -228,6 +233,7 @@ impl ShardedSnapshot {
             shards_total: self.shards.len(),
             shards_probed: 1,
             shards_skipped: self.shards.len() - 1,
+            shards_failed: 0,
             search: SearchStats::default(),
         };
         Ok((self.translate_top_k(shard, &top), stats))
@@ -422,7 +428,9 @@ impl ShardedSnapshot {
     /// Shards in probe order: ascending minimum centroid distance, ties to
     /// the lower shard index. Errors when no shard can score the feature
     /// (wrong dimension, non-finite values, or no non-empty cluster).
-    fn probe_order(&self, feature: &[f64]) -> Result<Vec<usize>> {
+    /// Public so the serving layer's degraded scatter loop probes exactly
+    /// the shards (and in exactly the order) the in-process path would.
+    pub fn probe_order(&self, feature: &[f64]) -> Result<Vec<usize>> {
         let mut keyed: Vec<(u64, usize)> = self
             .shards
             .iter()
@@ -449,7 +457,83 @@ impl ShardedSnapshot {
             shards_total: self.shards.len(),
             shards_probed: probed,
             shards_skipped: self.shards.len() - probed,
+            shards_failed: 0,
             search,
+        }
+    }
+
+    // -- degraded scatter-gather building blocks ----------------------------
+    //
+    // The serving layer's fault-tolerant scatter loop (per-shard fault
+    // containment, deadlines, partial answers) lives in `mogul_serve`; these
+    // primitives let it probe one shard at a time and merge whatever subset
+    // survived with exactly the gather semantics of
+    // [`Self::query_by_feature_in`].
+
+    /// Probe a **single** shard for an out-of-sample query, translating the
+    /// shard-local ids of the answer to global stable ids.
+    ///
+    /// This is one scatter leg of [`Self::query_by_feature_in`]: merging
+    /// every probed shard's leg with [`Self::merge_scatter`] reproduces the
+    /// full scatter-gather answer bit-identically, and merging a subset is
+    /// the degraded-mode answer (a true sub-merge of the healthy shards).
+    pub fn query_shard_by_feature_in(
+        &self,
+        ws: &mut ShardedWorkspace,
+        shard: usize,
+        feature: &[f64],
+        k: usize,
+    ) -> Result<OutOfSampleResult> {
+        let snap = self.shards.get(shard).ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "shard {shard} is out of range ({} shards)",
+                self.shards.len()
+            ))
+        })?;
+        let res = snap.query_by_feature_in(&mut ws.inner, feature, k)?;
+        Ok(OutOfSampleResult {
+            top_k: self.translate_top_k(shard, &res.top_k),
+            neighbors: res
+                .neighbors
+                .iter()
+                .map(|&local| self.global_of_local(shard, local))
+                .collect(),
+            ..res
+        })
+    }
+
+    /// Gather already-translated per-shard legs (see
+    /// [`Self::query_shard_by_feature_in`]) into one answer: bounded top-k
+    /// under the `(score desc, global id asc)` tie-break, neighbours
+    /// concatenated in leg order, phase timings and search counters summed
+    /// in leg order — exactly the gather phase of
+    /// [`Self::query_by_feature_in`], so the merge of all legs (in probe
+    /// order) is bit-identical to the undegraded answer.
+    pub fn merge_scatter(k: usize, legs: &[OutOfSampleResult]) -> OutOfSampleResult {
+        let mut merged = BoundedTopK::with_buffer(k, Vec::new());
+        let mut neighbors = Vec::new();
+        let mut nearest_neighbor_secs = 0.0;
+        let mut top_k_secs = 0.0;
+        let mut search = SearchStats::default();
+        for leg in legs {
+            for item in leg.top_k.items() {
+                merged.offer(Entry {
+                    key: (Reverse(f64_sort_key(item.score)), item.node),
+                    value: *item,
+                });
+            }
+            neighbors.extend_from_slice(&leg.neighbors);
+            nearest_neighbor_secs += leg.nearest_neighbor_secs;
+            top_k_secs += leg.top_k_secs;
+            search.merge(&leg.stats);
+        }
+        let top_k = TopKResult::new(merged.into_sorted_vec().iter().map(|e| e.value).collect());
+        OutOfSampleResult {
+            top_k,
+            neighbors,
+            nearest_neighbor_secs,
+            top_k_secs,
+            stats: search,
         }
     }
 }

@@ -65,6 +65,16 @@ pub enum ServeError {
         /// The underlying [`WalError`](mogul_core::wal::WalError), rendered.
         reason: String,
     },
+    /// A degraded scatter-gather could not satisfy the request: either no
+    /// probed shard answered at all, or some failed and the caller demanded
+    /// completeness (`require_complete`). Retryable — another replica may
+    /// hold every shard healthy.
+    Incomplete {
+        /// Number of probed shards that answered.
+        shards_answered: usize,
+        /// Number of shards the query probed.
+        shards_total: usize,
+    },
 }
 
 impl ServeError {
@@ -90,10 +100,17 @@ impl ServeError {
         }
     }
 
-    /// `true` for the two overload-contract variants a client should retry
-    /// (against this server after backoff, or against another replica).
+    /// `true` for the variants a client should retry (against this server
+    /// after backoff, or against another replica): the two overload-contract
+    /// variants plus [`ServeError::Incomplete`], whose failed shards may be
+    /// healthy elsewhere. `BadRequest`, `Index`, `Config` and `Durability`
+    /// describe the request or the deployment, not transient server state —
+    /// retrying them can never succeed.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ServeError::Overloaded { .. } | ServeError::Draining)
+        matches!(
+            self,
+            ServeError::Overloaded { .. } | ServeError::Draining | ServeError::Incomplete { .. }
+        )
     }
 }
 
@@ -114,6 +131,14 @@ impl fmt::Display for ServeError {
             ServeError::Durability { reason } => {
                 write!(f, "durability failure, update not applied: {reason}")
             }
+            ServeError::Incomplete {
+                shards_answered,
+                shards_total,
+            } => write!(
+                f,
+                "incomplete answer: only {shards_answered}/{shards_total} probed shards \
+                 answered and the request demanded completeness"
+            ),
         }
     }
 }
@@ -156,6 +181,11 @@ mod tests {
         let wal = ServeError::durability(mogul_core::wal::WalError::InvalidState("boom".into()));
         assert!(wal.to_string().contains("durability failure"));
         assert!(wal.to_string().contains("boom"));
+        let partial = ServeError::Incomplete {
+            shards_answered: 2,
+            shards_total: 4,
+        };
+        assert!(partial.to_string().contains("2/4"));
     }
 
     #[test]
@@ -166,6 +196,11 @@ mod tests {
         }
         .is_retryable());
         assert!(ServeError::Draining.is_retryable());
+        assert!(ServeError::Incomplete {
+            shards_answered: 0,
+            shards_total: 3
+        }
+        .is_retryable());
         assert!(!ServeError::bad_request("nope").is_retryable());
         assert!(!ServeError::from(CoreError::InvalidInput("x".into())).is_retryable());
     }

@@ -44,6 +44,14 @@
 //!   ([`QueryServer::install_snapshot`]). In-flight queries finish on the
 //!   epoch they started with — **zero downtime**, no query ever waits on a
 //!   writer.
+//! * [`resilience`] — the **fault-tolerant serving tier**: a replica
+//!   failover client ([`resilience::ReplicaSet`]) with per-request
+//!   deadlines, retry with decorrelated-jitter backoff and per-replica
+//!   circuit breakers; degraded-mode scatter-gather on the sharded engine
+//!   ([`ShardedServer::query_degraded`], answers tagged
+//!   [`ResponseStatus::Degraded`] when a shard fails); and a deterministic
+//!   fault-injection harness ([`resilience::FaultProxy`]) that proves the
+//!   typed-outcome contract under kills, corruption and stalls.
 //! * [`ShardedServer`] / [`ShardedWriter`] — the same serving contract over
 //!   a [`ShardedIndex`](mogul_core::ShardedIndex): scatter-gather queries
 //!   against an epoch-versioned sharded snapshot (each batch observes every
@@ -80,15 +88,16 @@ mod error;
 pub mod net;
 mod options;
 mod request;
+pub mod resilience;
 mod server;
 mod sharded;
 mod updater;
 
 pub use error::{ServeError, ServeResult};
 pub use options::{Dispatch, ServeOptions, ServeOptionsBuilder, MAX_QUEUE_CAPACITY, MAX_WORKERS};
-pub use request::{QueryRequest, QueryResponse, UpdateRequest};
+pub use request::{QueryRequest, QueryResponse, ResponseStatus, UpdateRequest};
 pub use server::QueryServer;
-pub use sharded::{ShardedServer, ShardedWriter};
+pub use sharded::{DegradedPolicy, ShardFault, ShardFaultFn, ShardedServer, ShardedWriter};
 pub use updater::IndexWriter;
 
 /// Re-export of the persistence error type surfaced by the warm-start and
@@ -125,4 +134,18 @@ fn static_assert_shared_state_is_send_sync() {
     check::<net::NetHandle>();
     check::<net::NetClient>();
     check::<net::ServerStatsReport>();
+    check::<ResponseStatus>();
+    check::<DegradedPolicy>();
+    check::<ShardFault>();
+    check::<resilience::ReplicaSetConfig>();
+    check::<resilience::FaultPlan>();
+    check::<resilience::FaultProxy>();
+
+    // The failover client owns live sockets and a retry cursor: one per
+    // thread, like `NetClient` — `Send` so it can move between threads,
+    // deliberately not asserted `Sync`.
+    fn check_send<T: Send>() {}
+    check_send::<resilience::ReplicaSet>();
+    check_send::<resilience::Backoff>();
+    check_send::<resilience::CircuitBreaker>();
 }

@@ -10,13 +10,18 @@
 use crate::error::ServeError;
 use crate::net::stats::ServerStatsReport;
 use crate::net::wire::{
-    decode_query_response, decode_serve_error, decode_stats_report, encode_frame,
-    encode_query_request, read_frame, Frame, FrameKind, WireError,
+    decode_query_response_status, decode_serve_error, decode_stats_report, encode_frame,
+    encode_query_request_opts, read_frame, Frame, FrameKind, WireError,
 };
-use crate::request::{QueryRequest, QueryResponse};
+use crate::request::{QueryRequest, QueryResponse, ResponseStatus};
 use std::io::Write;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// One pipelined answer as returned by [`NetClient::recv_answer_status`]:
+/// the echoed request id paired with the server's verdict — a response
+/// tagged with its [`ResponseStatus`], or a typed [`ServeError`].
+pub type AnswerStatus = (u64, Result<(QueryResponse, ResponseStatus), ServeError>);
 
 /// Client-side failures: transport/codec trouble, a typed server-side
 /// rejection, or a protocol-order violation.
@@ -63,6 +68,22 @@ impl From<std::io::Error> for NetError {
     }
 }
 
+impl NetError {
+    /// Whether a failover client may retry this failure against another
+    /// replica. Only a typed, non-retryable server rejection is final:
+    /// transport trouble (timeouts, resets, truncated or corrupted frames)
+    /// and protocol violations say nothing about the request itself, and
+    /// queries are idempotent reads — retrying them elsewhere is always
+    /// safe. Delegates to [`ServeError::is_retryable`] for typed
+    /// rejections.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Serve(err) => err.is_retryable(),
+            NetError::Wire(_) | NetError::Protocol(_) => true,
+        }
+    }
+}
+
 /// A blocking connection to a [`NetServer`](crate::net::NetServer).
 #[derive(Debug)]
 pub struct NetClient {
@@ -78,10 +99,28 @@ impl NetClient {
         Ok(NetClient { stream, next_id: 1 })
     }
 
-    /// Bound every subsequent read (handy in tests: a hung server fails the
-    /// test instead of hanging it).
+    /// Connect to a serving address, bounding the TCP handshake itself.
+    /// A replica that is down-but-not-refusing (dropped SYNs, a dead NAT
+    /// entry) fails within `timeout` instead of the OS connect timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// Bound every subsequent read. A read past the deadline surfaces as
+    /// [`WireError::TimedOut`] (retryable), so a stalled server fails the
+    /// request instead of hanging the caller. `None` (the initial state)
+    /// blocks without bound.
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.stream.set_read_timeout(timeout)
+    }
+
+    /// Bound every subsequent write — the mirror of
+    /// [`NetClient::set_read_timeout`] for a peer that stops reading while
+    /// the socket's send buffer is full.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_write_timeout(timeout)
     }
 
     /// Clone the underlying socket into a second handle — the pipelined
@@ -105,8 +144,20 @@ impl NetClient {
     /// Send one query without waiting; returns the request id its answer
     /// will carry.
     pub fn send_query(&mut self, request: &QueryRequest) -> Result<u64, NetError> {
+        self.send_query_opts(request, false)
+    }
+
+    /// [`NetClient::send_query`] with the `require_complete` flag: a server
+    /// that would answer degraded (shards missing from the scatter-gather)
+    /// must instead reject the request with a typed
+    /// [`ServeError::Incomplete`].
+    pub fn send_query_opts(
+        &mut self,
+        request: &QueryRequest,
+        require_complete: bool,
+    ) -> Result<u64, NetError> {
         let mut payload = Vec::new();
-        encode_query_request(request, &mut payload);
+        encode_query_request_opts(request, require_complete, &mut payload);
         self.send_frame(FrameKind::Query, &payload)
     }
 
@@ -116,11 +167,18 @@ impl NetClient {
     /// a [`NetError::Protocol`]. A cleanly closed stream surfaces as
     /// [`WireError::Truncated`]-flavored `Protocol` ("server closed").
     pub fn recv_answer(&mut self) -> Result<(u64, Result<QueryResponse, ServeError>), NetError> {
+        self.recv_answer_status()
+            .map(|(id, answer)| (id, answer.map(|(response, _)| response)))
+    }
+
+    /// [`NetClient::recv_answer`], keeping the [`ResponseStatus`] that tags
+    /// degraded scatter-gather answers.
+    pub fn recv_answer_status(&mut self) -> Result<AnswerStatus, NetError> {
         let frame = self.read_some_frame()?;
         match frame.kind {
             FrameKind::Answer => {
-                let response = decode_query_response(&frame.payload)?;
-                Ok((frame.request_id, Ok(response)))
+                let decoded = decode_query_response_status(&frame.payload)?;
+                Ok((frame.request_id, Ok(decoded)))
             }
             FrameKind::Error => {
                 let error = decode_serve_error(&frame.payload)?;
@@ -144,8 +202,20 @@ impl NetClient {
     /// Synchronous round-trip: send one query, wait for its answer. A typed
     /// server-side rejection becomes [`NetError::Serve`].
     pub fn query(&mut self, request: &QueryRequest) -> Result<QueryResponse, NetError> {
-        let sent = self.send_query(request)?;
-        let (got, answer) = self.recv_answer()?;
+        self.query_status(request, false)
+            .map(|(response, _)| response)
+    }
+
+    /// Synchronous round-trip keeping the [`ResponseStatus`]: the degraded
+    /// tag of a partial scatter-gather answer, and the `require_complete`
+    /// flag demanding the server fail typed instead of degrading.
+    pub fn query_status(
+        &mut self,
+        request: &QueryRequest,
+        require_complete: bool,
+    ) -> Result<(QueryResponse, ResponseStatus), NetError> {
+        let sent = self.send_query_opts(request, require_complete)?;
+        let (got, answer) = self.recv_answer_status()?;
         if got != sent {
             return Err(NetError::Protocol(format!(
                 "answer carries request id {got}, expected {sent} \

@@ -14,17 +14,24 @@
 //! * [`server`] — [`NetServer`]: accept/reader/worker threading, bounded
 //!   admission queue with typed `Overloaded`/`Draining` shedding, graceful
 //!   drain, and the stats endpoint.
+//! * [`backend`] — [`ServeBackend`], the answering engine behind the front
+//!   door (single-index [`QueryServer`](crate::QueryServer) or sharded
+//!   scatter-gather with degraded-mode answers).
 //! * [`client`] — [`NetClient`]: synchronous and pipelined request forms.
 //! * [`stats`] — [`ServerStatsReport`], the wire-visible operational
 //!   snapshot (p50/p95/qps, queue depth, shed counts, epoch, rebuild debt).
 //!
-//! See `docs/NETWORKING.md` for the operator-facing walkthrough.
+//! See `docs/NETWORKING.md` for the operator-facing walkthrough, and
+//! [`crate::resilience`] for the fault-tolerant client side (replica
+//! failover, retry/backoff, fault injection).
 
+pub mod backend;
 pub mod client;
 pub mod server;
 pub mod stats;
 pub mod wire;
 
+pub use backend::ServeBackend;
 pub use client::{NetClient, NetError};
 pub use server::{NetHandle, NetServer};
 pub use stats::ServerStatsReport;

@@ -37,14 +37,16 @@
 //! process shutdown, not for index updates.
 
 use crate::error::ServeError;
+use crate::net::backend::ServeBackend;
 use crate::net::stats::{NetStats, ServerStatsReport};
 use crate::net::wire::{
-    encode_frame, encode_query_response, encode_serve_error, encode_stats_report, read_frame,
-    Frame, FrameKind, WireError,
+    encode_frame, encode_query_response_status, encode_serve_error, encode_stats_report,
+    read_frame, Frame, FrameKind, WireError,
 };
 use crate::options::ServeOptions;
 use crate::request::QueryRequest;
 use crate::server::QueryServer;
+use crate::sharded::ShardedServer;
 use crate::updater::IndexWriter;
 use std::collections::VecDeque;
 use std::io::Write;
@@ -87,12 +89,13 @@ struct Work {
     conn: Arc<Conn>,
     request_id: u64,
     request: QueryRequest,
+    require_complete: bool,
     admitted: Instant,
 }
 
 /// State shared by the accept thread, readers, workers and [`NetHandle`]s.
 struct Shared {
-    query: Arc<QueryServer>,
+    backend: Arc<dyn ServeBackend>,
     writer: Option<Arc<IndexWriter>>,
     options: ServeOptions,
     stats: NetStats,
@@ -127,7 +130,6 @@ impl Shared {
     }
 
     fn stats_report(&self) -> ServerStatsReport {
-        let snapshot = self.query.snapshot();
         let queue_depth = self
             .queue
             .lock()
@@ -142,8 +144,8 @@ impl Shared {
             None => (0, 0.0),
         };
         ServerStatsReport {
-            epoch: snapshot.epoch(),
-            items: snapshot.len() as u64,
+            epoch: self.backend.epoch(),
+            items: self.backend.items(),
             uptime_secs: self.stats.uptime_secs(),
             connections: self.stats.connections.load(Ordering::Relaxed),
             queue_depth,
@@ -160,11 +162,18 @@ impl Shared {
             rebuild_support,
             rebuild_fraction,
             draining: self.draining.load(Ordering::SeqCst),
+            shed_deadline: self.stats.shed_deadline.load(Ordering::Relaxed),
         }
     }
 
     /// Admit or shed one decoded query request (reader thread).
-    fn admit(&self, conn: &Arc<Conn>, request_id: u64, request: QueryRequest) {
+    fn admit(
+        &self,
+        conn: &Arc<Conn>,
+        request_id: u64,
+        request: QueryRequest,
+        require_complete: bool,
+    ) {
         if self.draining.load(Ordering::SeqCst) {
             self.stats.shed_draining.fetch_add(1, Ordering::Relaxed);
             conn.send_error(request_id, &ServeError::Draining);
@@ -172,7 +181,7 @@ impl Shared {
         }
         // Validation before queueing: a malformed request must not occupy an
         // admission slot (and is answered even under full queue).
-        if let Err(err) = request.validate(&self.query.snapshot()) {
+        if let Err(err) = self.backend.validate(&request) {
             self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
             conn.send_error(request_id, &err);
             return;
@@ -199,6 +208,7 @@ impl Shared {
             conn: Arc::clone(conn),
             request_id,
             request,
+            require_complete,
             admitted: Instant::now(),
         });
         drop(queue);
@@ -228,17 +238,49 @@ impl Shared {
     }
 
     fn execute(&self, work: Work) {
-        match self.query.query(&work.request) {
-            Ok(response) => {
+        self.execute_inner(&work);
+        work.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        if self.stats.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    fn execute_inner(&self, work: &Work) {
+        // Queue-wait deadline: a request that sat past it is shed instead
+        // of executed — its client has almost certainly timed out and
+        // retried elsewhere, so executing it would only delay the requests
+        // queued behind it. Same typed `Overloaded` answer as a queue-full
+        // shed; the stats distinguish the cause via `shed_deadline`.
+        if let Some(deadline) = self.options.queue_deadline() {
+            if work.admitted.elapsed() > deadline {
+                self.stats.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+                self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                let queue_depth = self
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len();
+                work.conn.send_error(
+                    work.request_id,
+                    &ServeError::Overloaded {
+                        queue_depth,
+                        queue_capacity: self.options.queue_capacity(),
+                    },
+                );
+                return;
+            }
+        }
+        match self.backend.answer(&work.request, work.require_complete) {
+            Ok((response, status)) => {
                 let mut payload = Vec::new();
-                encode_query_response(&response, &mut payload);
+                encode_query_response_status(&response, status, &mut payload);
                 // Count before sending: a client that has seen N answers
                 // must never read a stats report claiming fewer than N.
                 self.stats.record_completion(work.admitted);
                 work.conn.send(FrameKind::Answer, work.request_id, &payload);
             }
             Err(err) => {
-                if matches!(err, ServeError::Index(_)) {
+                if matches!(err, ServeError::Index(_) | ServeError::Incomplete { .. }) {
                     self.stats.index_errors.fetch_add(1, Ordering::Relaxed);
                 } else {
                     // Admission re-validates against the *current* snapshot;
@@ -247,10 +289,6 @@ impl Shared {
                 }
                 work.conn.send_error(work.request_id, &err);
             }
-        }
-        work.conn.inflight.fetch_sub(1, Ordering::SeqCst);
-        if self.stats.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
-            self.idle_cv.notify_all();
         }
     }
 
@@ -265,7 +303,7 @@ impl Shared {
                         break;
                     }
                 }
-                Err(WireError::Io { .. }) => break,
+                Err(WireError::Io { .. }) | Err(WireError::TimedOut { .. }) => break,
                 Err(WireError::Payload(reason)) => {
                     // The frame itself was intact; reject it and keep the
                     // connection (framing is still synchronized).
@@ -286,8 +324,10 @@ impl Shared {
     /// Dispatch one intact frame. Returns `false` to close the connection.
     fn handle_frame(&self, shared: &Arc<Shared>, conn: &Arc<Conn>, frame: Frame) -> bool {
         match frame.kind {
-            FrameKind::Query => match crate::net::wire::decode_query_request(&frame.payload) {
-                Ok(request) => self.admit(conn, frame.request_id, request),
+            FrameKind::Query => match crate::net::wire::decode_query_request_opts(&frame.payload) {
+                Ok((request, require_complete)) => {
+                    self.admit(conn, frame.request_id, request, require_complete)
+                }
                 Err(err) => {
                     self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                     conn.send_error(frame.request_id, &ServeError::bad_request(err.to_string()));
@@ -358,12 +398,34 @@ impl NetServer {
         query: Arc<QueryServer>,
         options: ServeOptions,
     ) -> std::io::Result<NetServer> {
+        NetServer::bind_backend(addr, query, options)
+    }
+
+    /// [`NetServer::bind`] over a sharded scatter-gather engine. Admitted
+    /// queries are answered through
+    /// [`ShardedServer::query_degraded`], so a probed shard that fails
+    /// yields a degraded (tagged-partial) answer instead of failing the
+    /// whole query — unless the request set the `require_complete` flag.
+    pub fn bind_sharded(
+        addr: impl ToSocketAddrs,
+        sharded: Arc<ShardedServer>,
+        options: ServeOptions,
+    ) -> std::io::Result<NetServer> {
+        NetServer::bind_backend(addr, sharded, options)
+    }
+
+    /// [`NetServer::bind`] over any [`ServeBackend`] implementation.
+    pub fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Arc<impl ServeBackend>,
+        options: ServeOptions,
+    ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         Ok(NetServer {
             listener,
             shared: Arc::new(Shared {
-                query,
+                backend,
                 writer: None,
                 options,
                 stats: NetStats::new(),

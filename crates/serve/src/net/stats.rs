@@ -59,6 +59,13 @@ pub struct ServerStatsReport {
     pub rebuild_fraction: f64,
     /// `true` once the server has begun draining.
     pub draining: bool,
+    /// Requests shed with `Overloaded` because they sat in the admission
+    /// queue past [`ServeOptions::queue_deadline`](crate::ServeOptions::queue_deadline)
+    /// — the `deadline_exceeded` shed
+    /// cause, distinguishable from queue-full sheds (`shed_overloaded`
+    /// counts both). Additive wire field: reports from servers predating it
+    /// decode with `0`.
+    pub shed_deadline: u64,
 }
 
 /// Sample ring: completion timestamp (seconds since server start) and
@@ -75,6 +82,7 @@ pub(crate) struct NetStats {
     pub(crate) completed: AtomicU64,
     pub(crate) shed_overloaded: AtomicU64,
     pub(crate) shed_draining: AtomicU64,
+    pub(crate) shed_deadline: AtomicU64,
     pub(crate) bad_requests: AtomicU64,
     pub(crate) index_errors: AtomicU64,
     pub(crate) inflight: AtomicU64,
@@ -89,6 +97,7 @@ impl NetStats {
             completed: AtomicU64::new(0),
             shed_overloaded: AtomicU64::new(0),
             shed_draining: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             index_errors: AtomicU64::new(0),
             inflight: AtomicU64::new(0),

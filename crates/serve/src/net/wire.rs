@@ -30,7 +30,7 @@
 
 use crate::error::ServeError;
 use crate::net::stats::ServerStatsReport;
-use crate::request::{QueryRequest, QueryResponse};
+use crate::request::{QueryRequest, QueryResponse, ResponseStatus};
 use mogul_core::{CoreError, OutOfSampleResult, RankedNode, SearchStats, TopKResult};
 use mogul_sparse::persist::{checksum64, put_f64, put_u64, put_usize, ByteReader};
 use std::io::Read;
@@ -158,6 +158,15 @@ pub enum WireError {
     },
     /// The frame was intact but its payload failed the kind-specific codec.
     Payload(String),
+    /// A socket read or write exceeded its configured timeout (see
+    /// [`NetClient::set_read_timeout`](crate::net::NetClient::set_read_timeout)).
+    /// The connection state is indeterminate mid-frame, so the connection
+    /// must be abandoned — but the failure is transient, and the request is
+    /// safe to retry against another replica.
+    TimedOut {
+        /// Human-readable detail from the underlying I/O error.
+        detail: String,
+    },
     /// An I/O failure while reading or writing the stream.
     Io {
         /// The kind of I/O error.
@@ -190,6 +199,7 @@ impl std::fmt::Display for WireError {
             ),
             WireError::Truncated { context } => write!(f, "stream ended while reading {context}"),
             WireError::Payload(msg) => write!(f, "malformed frame payload: {msg}"),
+            WireError::TimedOut { detail } => write!(f, "i/o timeout: {detail}"),
             WireError::Io { kind, detail } => write!(f, "i/o error ({kind:?}): {detail}"),
         }
     }
@@ -199,9 +209,17 @@ impl std::error::Error for WireError {}
 
 impl From<std::io::Error> for WireError {
     fn from(err: std::io::Error) -> Self {
-        WireError::Io {
-            kind: err.kind(),
-            detail: err.to_string(),
+        match err.kind() {
+            // `set_read_timeout` surfaces an expired deadline as either
+            // `WouldBlock` (unix) or `TimedOut` (windows); both mean the
+            // peer stalled, not that it answered wrongly.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::TimedOut {
+                detail: err.to_string(),
+            },
+            kind => WireError::Io {
+                kind,
+                detail: err.to_string(),
+            },
         }
     }
 }
@@ -345,17 +363,46 @@ fn take_str(reader: &mut ByteReader<'_>, what: &str) -> Result<String, WireError
 
 const REQ_IN_DATABASE: u8 = 0;
 const REQ_OUT_OF_SAMPLE: u8 = 1;
+// Strict variants: identical body, but the request demands a complete
+// answer — a degraded scatter-gather must fail typed
+// ([`ServeError::Incomplete`]) instead of answering with a shard subset.
+// New tags (rather than a trailing flag byte) keep the common case
+// byte-identical to protocol v1 day one: a non-strict request encoded by
+// this codec decodes on a pre-resilience server, and a pre-resilience
+// server rejects a strict request typed (unknown tag → `Payload` error on
+// a still-usable connection) instead of silently dropping the flag.
+const REQ_IN_DATABASE_STRICT: u8 = 2;
+const REQ_OUT_OF_SAMPLE_STRICT: u8 = 3;
 
 /// Encode a [`QueryRequest`] payload.
 pub fn encode_query_request(request: &QueryRequest, out: &mut Vec<u8>) {
+    encode_query_request_opts(request, false, out);
+}
+
+/// Encode a [`QueryRequest`] payload, optionally flagged `require_complete`
+/// (the strict tags). A non-strict encoding is byte-identical to
+/// [`encode_query_request`].
+pub fn encode_query_request_opts(
+    request: &QueryRequest,
+    require_complete: bool,
+    out: &mut Vec<u8>,
+) {
     match request {
         QueryRequest::InDatabase { node, k } => {
-            out.push(REQ_IN_DATABASE);
+            out.push(if require_complete {
+                REQ_IN_DATABASE_STRICT
+            } else {
+                REQ_IN_DATABASE
+            });
             put_usize(out, *node);
             put_usize(out, *k);
         }
         QueryRequest::OutOfSample { feature, k } => {
-            out.push(REQ_OUT_OF_SAMPLE);
+            out.push(if require_complete {
+                REQ_OUT_OF_SAMPLE_STRICT
+            } else {
+                REQ_OUT_OF_SAMPLE
+            });
             put_usize(out, *k);
             put_usize(out, feature.len());
             for &v in feature {
@@ -365,17 +412,25 @@ pub fn encode_query_request(request: &QueryRequest, out: &mut Vec<u8>) {
     }
 }
 
-/// Decode a [`QueryRequest`] payload (must consume the payload exactly).
+/// Decode a [`QueryRequest`] payload (must consume the payload exactly),
+/// discarding the `require_complete` flag.
 pub fn decode_query_request(payload: &[u8]) -> Result<QueryRequest, WireError> {
+    decode_query_request_opts(payload).map(|(request, _)| request)
+}
+
+/// Decode a [`QueryRequest`] payload (must consume the payload exactly),
+/// returning the request and its `require_complete` flag.
+pub fn decode_query_request_opts(payload: &[u8]) -> Result<(QueryRequest, bool), WireError> {
     let mut reader = ByteReader::new(payload);
     let tag = reader.take_bytes(1, "request tag").map_err(payload_err)?[0];
+    let require_complete = matches!(tag, REQ_IN_DATABASE_STRICT | REQ_OUT_OF_SAMPLE_STRICT);
     let request = match tag {
-        REQ_IN_DATABASE => {
+        REQ_IN_DATABASE | REQ_IN_DATABASE_STRICT => {
             let node = reader.take_usize("request node").map_err(payload_err)?;
             let k = reader.take_usize("request k").map_err(payload_err)?;
             QueryRequest::InDatabase { node, k }
         }
-        REQ_OUT_OF_SAMPLE => {
+        REQ_OUT_OF_SAMPLE | REQ_OUT_OF_SAMPLE_STRICT => {
             let k = reader.take_usize("request k").map_err(payload_err)?;
             let len = reader.take_len(8, "request feature").map_err(payload_err)?;
             let mut feature = Vec::with_capacity(len);
@@ -391,7 +446,7 @@ pub fn decode_query_request(payload: &[u8]) -> Result<QueryRequest, WireError> {
         }
     };
     reader.finish("query request").map_err(payload_err)?;
-    Ok(request)
+    Ok((request, require_complete))
 }
 
 // ---------------------------------------------------------------------------
@@ -446,17 +501,53 @@ fn decode_search_stats(reader: &mut ByteReader<'_>) -> Result<SearchStats, WireE
 
 const RESP_IN_DATABASE: u8 = 0;
 const RESP_OUT_OF_SAMPLE: u8 = 1;
+// Degraded variants: same body, prefixed with the `shards_answered /
+// shards_total` completeness field. Complete answers keep tags 0/1
+// byte-for-byte, so every answer an old client can *receive* (it cannot
+// send the strict flag that tolerates degradation) still decodes.
+const RESP_IN_DATABASE_DEGRADED: u8 = 2;
+const RESP_OUT_OF_SAMPLE_DEGRADED: u8 = 3;
 
 /// Encode a [`QueryResponse`] payload (scores as raw IEEE-754 bits —
 /// bit-identical on decode).
 pub fn encode_query_response(response: &QueryResponse, out: &mut Vec<u8>) {
+    encode_query_response_status(response, ResponseStatus::Complete, out);
+}
+
+/// Encode a [`QueryResponse`] payload together with its completeness
+/// status. A [`ResponseStatus::Complete`] encoding is byte-identical to
+/// [`encode_query_response`]; a degraded one uses the degraded tags and
+/// prefixes the body with the shard counts.
+pub fn encode_query_response_status(
+    response: &QueryResponse,
+    status: ResponseStatus,
+    out: &mut Vec<u8>,
+) {
+    let degraded = |base: u8| -> u8 {
+        match status {
+            ResponseStatus::Complete => base,
+            ResponseStatus::Degraded { .. } => base + 2,
+        }
+    };
+    let put_status = |out: &mut Vec<u8>| {
+        if let ResponseStatus::Degraded {
+            shards_answered,
+            shards_total,
+        } = status
+        {
+            put_usize(out, shards_answered);
+            put_usize(out, shards_total);
+        }
+    };
     match response {
         QueryResponse::InDatabase(top_k) => {
-            out.push(RESP_IN_DATABASE);
+            out.push(degraded(RESP_IN_DATABASE));
+            put_status(out);
             encode_top_k(top_k, out);
         }
         QueryResponse::OutOfSample(result) => {
-            out.push(RESP_OUT_OF_SAMPLE);
+            out.push(degraded(RESP_OUT_OF_SAMPLE));
+            put_status(out);
             encode_top_k(&result.top_k, out);
             put_usize(out, result.neighbors.len());
             for &n in &result.neighbors {
@@ -469,13 +560,44 @@ pub fn encode_query_response(response: &QueryResponse, out: &mut Vec<u8>) {
     }
 }
 
-/// Decode a [`QueryResponse`] payload (must consume the payload exactly).
+/// Decode a [`QueryResponse`] payload (must consume the payload exactly),
+/// discarding the completeness status.
 pub fn decode_query_response(payload: &[u8]) -> Result<QueryResponse, WireError> {
+    decode_query_response_status(payload).map(|(response, _)| response)
+}
+
+/// Decode a [`QueryResponse`] payload (must consume the payload exactly),
+/// returning the response and its [`ResponseStatus`].
+pub fn decode_query_response_status(
+    payload: &[u8],
+) -> Result<(QueryResponse, ResponseStatus), WireError> {
     let mut reader = ByteReader::new(payload);
     let tag = reader.take_bytes(1, "response tag").map_err(payload_err)?[0];
+    let status = match tag {
+        RESP_IN_DATABASE | RESP_OUT_OF_SAMPLE => ResponseStatus::Complete,
+        RESP_IN_DATABASE_DEGRADED | RESP_OUT_OF_SAMPLE_DEGRADED => {
+            let shards_answered = reader
+                .take_usize("response shards answered")
+                .map_err(payload_err)?;
+            let shards_total = reader
+                .take_usize("response shards total")
+                .map_err(payload_err)?;
+            ResponseStatus::Degraded {
+                shards_answered,
+                shards_total,
+            }
+        }
+        other => {
+            return Err(WireError::Payload(format!(
+                "unknown query-response tag {other}"
+            )))
+        }
+    };
     let response = match tag {
-        RESP_IN_DATABASE => QueryResponse::InDatabase(decode_top_k(&mut reader)?),
-        RESP_OUT_OF_SAMPLE => {
+        RESP_IN_DATABASE | RESP_IN_DATABASE_DEGRADED => {
+            QueryResponse::InDatabase(decode_top_k(&mut reader)?)
+        }
+        _ => {
             let top_k = decode_top_k(&mut reader)?;
             let neighbors = reader
                 .take_usize_vec("response neighbors")
@@ -495,14 +617,9 @@ pub fn decode_query_response(payload: &[u8]) -> Result<QueryResponse, WireError>
                 stats,
             }))
         }
-        other => {
-            return Err(WireError::Payload(format!(
-                "unknown query-response tag {other}"
-            )))
-        }
     };
     reader.finish("query response").map_err(payload_err)?;
-    Ok(response)
+    Ok((response, status))
 }
 
 // ---------------------------------------------------------------------------
@@ -515,6 +632,7 @@ const ERR_BAD_REQUEST: u8 = 3;
 const ERR_INDEX: u8 = 4;
 const ERR_CONFIG: u8 = 5;
 const ERR_DURABILITY: u8 = 6;
+const ERR_INCOMPLETE: u8 = 7;
 
 /// Encode a [`ServeError`] payload.
 ///
@@ -548,6 +666,14 @@ pub fn encode_serve_error(error: &ServeError, out: &mut Vec<u8>) {
             out.push(ERR_DURABILITY);
             put_str(out, reason);
         }
+        ServeError::Incomplete {
+            shards_answered,
+            shards_total,
+        } => {
+            out.push(ERR_INCOMPLETE);
+            put_usize(out, *shards_answered);
+            put_usize(out, *shards_total);
+        }
     }
 }
 
@@ -577,6 +703,14 @@ pub fn decode_serve_error(payload: &[u8]) -> Result<ServeError, WireError> {
         },
         ERR_DURABILITY => ServeError::Durability {
             reason: take_str(&mut reader, "error reason")?,
+        },
+        ERR_INCOMPLETE => ServeError::Incomplete {
+            shards_answered: reader
+                .take_usize("error shards answered")
+                .map_err(payload_err)?,
+            shards_total: reader
+                .take_usize("error shards total")
+                .map_err(payload_err)?,
         },
         other => return Err(WireError::Payload(format!("unknown error tag {other}"))),
     };
@@ -608,6 +742,9 @@ pub fn encode_stats_report(report: &ServerStatsReport, out: &mut Vec<u8>) {
     put_u64(out, report.rebuild_support);
     put_f64(out, report.rebuild_fraction);
     out.push(report.draining as u8);
+    // Additive trailing field (see the decoder): keep appending new fields
+    // here, never reorder the ones above.
+    put_u64(out, report.shed_deadline);
 }
 
 /// Decode a [`ServerStatsReport`] payload (must consume the payload
@@ -641,6 +778,15 @@ pub fn decode_stats_report(payload: &[u8]) -> Result<ServerStatsReport, WireErro
             .take_bytes(1, "stats draining")
             .map_err(payload_err)?[0]
             != 0,
+        // Additive trailing field: a payload from a pre-resilience server
+        // simply ends here, and the counter defaults to zero. New fields
+        // must follow the same pattern (append + default-if-absent) so old
+        // payloads keep decoding.
+        shed_deadline: if reader.remaining() > 0 {
+            u("stats shed deadline", &mut reader)?
+        } else {
+            0
+        },
     };
     reader.finish("stats report").map_err(payload_err)?;
     Ok(report)

@@ -10,6 +10,7 @@
 
 use crate::error::{ServeError, ServeResult};
 use std::thread;
+use std::time::Duration;
 
 /// Upper bound on an explicit worker count — far above any real machine, but
 /// it turns a garbage value (e.g. a mis-parsed CLI flag) into a typed
@@ -65,6 +66,7 @@ pub struct ServeOptions {
     dispatch: Dispatch,
     queue_capacity: usize,
     max_inflight_per_conn: usize,
+    queue_deadline: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -115,6 +117,18 @@ impl ServeOptions {
         self.max_inflight_per_conn
     }
 
+    /// Maximum time an admitted request may wait in the queue before a
+    /// worker picks it up. A request past the deadline is shed with a typed
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded) instead of
+    /// being executed — its client has usually timed out already, so
+    /// executing it would only burn capacity the queued-behind requests
+    /// need. Counted separately in
+    /// [`ServerStatsReport::shed_deadline`](crate::net::ServerStatsReport::shed_deadline).
+    /// `None` (the default) disables the deadline.
+    pub fn queue_deadline(&self) -> Option<Duration> {
+        self.queue_deadline
+    }
+
     /// The effective worker count after auto-detection.
     pub(crate) fn resolve_workers(&self) -> usize {
         if self.workers > 0 {
@@ -132,6 +146,7 @@ pub struct ServeOptionsBuilder {
     dispatch: Dispatch,
     queue_capacity: usize,
     max_inflight_per_conn: usize,
+    queue_deadline: Option<Duration>,
 }
 
 impl Default for ServeOptionsBuilder {
@@ -141,6 +156,7 @@ impl Default for ServeOptionsBuilder {
             dispatch: Dispatch::Panel,
             queue_capacity: 1024,
             max_inflight_per_conn: 64,
+            queue_deadline: None,
         }
     }
 }
@@ -168,6 +184,13 @@ impl ServeOptionsBuilder {
     /// Per-connection in-flight request cap (default 64).
     pub fn max_inflight_per_conn(mut self, max_inflight_per_conn: usize) -> Self {
         self.max_inflight_per_conn = max_inflight_per_conn;
+        self
+    }
+
+    /// Queue-wait deadline after which an admitted request is shed instead
+    /// of executed (default: no deadline). Must be non-zero.
+    pub fn queue_deadline(mut self, queue_deadline: Duration) -> Self {
+        self.queue_deadline = Some(queue_deadline);
         self
     }
 
@@ -208,11 +231,18 @@ impl ServeOptionsBuilder {
                 self.max_inflight_per_conn, self.queue_capacity
             )));
         }
+        if self.queue_deadline == Some(Duration::ZERO) {
+            return Err(ServeError::config(
+                "queue_deadline must be non-zero (a zero deadline sheds every request; \
+                 omit it to disable the deadline)",
+            ));
+        }
         Ok(ServeOptions {
             workers: self.workers,
             dispatch: self.dispatch,
             queue_capacity: self.queue_capacity,
             max_inflight_per_conn: self.max_inflight_per_conn,
+            queue_deadline: self.queue_deadline,
         })
     }
 }
@@ -258,6 +288,22 @@ mod tests {
                 .build(),
             Err(ServeError::Config { .. })
         ));
+        assert!(matches!(
+            ServeOptions::builder()
+                .queue_deadline(Duration::ZERO)
+                .build(),
+            Err(ServeError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn queue_deadline_defaults_off_and_round_trips() {
+        assert_eq!(ServeOptions::default().queue_deadline(), None);
+        let options = ServeOptions::builder()
+            .queue_deadline(Duration::from_millis(250))
+            .build()
+            .unwrap();
+        assert_eq!(options.queue_deadline(), Some(Duration::from_millis(250)));
     }
 
     #[test]

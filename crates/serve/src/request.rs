@@ -165,6 +165,44 @@ impl UpdateRequest {
     }
 }
 
+/// Completeness of a [`QueryResponse`] under degraded-mode scatter-gather.
+///
+/// A sharded server that loses a shard mid-query (poisoned worker, injected
+/// fault, per-scatter deadline) can still answer with the merged top-k of
+/// the shards that *did* respond. That answer is tagged
+/// [`ResponseStatus::Degraded`] so the caller knows it saw a subset of the
+/// database; a complete answer is tagged [`ResponseStatus::Complete`].
+/// Callers that would rather fail than act on a partial answer set the
+/// `require_complete` flag on the request and receive a typed
+/// [`ServeError::Incomplete`](crate::ServeError::Incomplete) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponseStatus {
+    /// Every probed shard answered; the response is the full scatter-gather
+    /// result (bit-identical to a healthy query).
+    #[default]
+    Complete,
+    /// One or more probed shards failed to answer; the response merges the
+    /// survivors and is a true subset of the complete answer.
+    Degraded {
+        /// Number of probed shards that answered.
+        shards_answered: usize,
+        /// Number of shards the query probed (answered + failed).
+        shards_total: usize,
+    },
+}
+
+impl ResponseStatus {
+    /// `true` when every probed shard answered.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ResponseStatus::Complete)
+    }
+
+    /// `true` when the response merges only a subset of the probed shards.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ResponseStatus::Degraded { .. })
+    }
+}
+
 /// Answer to one [`QueryRequest`], mirroring its kind.
 #[derive(Debug, Clone)]
 pub enum QueryResponse {

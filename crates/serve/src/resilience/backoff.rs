@@ -1,0 +1,143 @@
+//! Exponential backoff with decorrelated jitter, and the seeded PRNG the
+//! resilience tier shares with the fault-injection harness.
+//!
+//! The jitter schedule follows the "decorrelated jitter" recipe: each delay
+//! is drawn uniformly from `[base, prev * 3]` and clamped to `cap`, so
+//! concurrent clients that failed at the same instant spread their retries
+//! instead of stampeding the next replica in lockstep. Everything is seeded
+//! and deterministic — two [`Backoff`] values built from the same seed
+//! produce the same delay sequence, which is what lets the chaos battery
+//! replay a failure schedule exactly.
+
+use std::time::Duration;
+
+/// XorShift64 PRNG — deterministic, seedable, `std`-only. Mirrors the
+/// generator used by the k-means seeding in `mogul-graph`; quality is more
+/// than enough for jitter and fault schedules, and determinism is the point.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: seed.max(1).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+/// Decorrelated-jitter retry delays: `next = min(cap, uniform(base, prev*3))`.
+///
+/// Deterministic for a given seed. [`Backoff::reset`] rewinds the growth (but
+/// not the PRNG) at the start of each new request, so the first retry of any
+/// request waits close to `base` while repeated failures within one request
+/// grow toward `cap`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: XorShift64,
+}
+
+impl Backoff {
+    /// A backoff schedule growing from `base` toward `cap`, jittered by the
+    /// PRNG seeded with `seed`. `base` must be non-zero and no larger than
+    /// `cap`; both are clamped to sane values rather than rejected (the
+    /// validating entry point is [`ReplicaSetConfig`](crate::resilience::ReplicaSetConfig)).
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_micros(1));
+        let cap = cap.max(base);
+        Backoff {
+            base,
+            cap,
+            prev: base,
+            rng: XorShift64::new(seed),
+        }
+    }
+
+    /// Draw the next delay and advance the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let base_us = self.base.as_micros() as u64;
+        let cap_us = self.cap.as_micros() as u64;
+        let hi_us = (self.prev.as_micros() as u64)
+            .saturating_mul(3)
+            .clamp(base_us + 1, cap_us.max(base_us + 1));
+        let picked = base_us + self.rng.next_u64() % (hi_us - base_us + 1);
+        let delay = Duration::from_micros(picked.min(cap_us));
+        self.prev = delay;
+        delay
+    }
+
+    /// Rewind the growth to `base` (the PRNG keeps advancing, so delay
+    /// *values* stay decorrelated across requests).
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Backoff::new(Duration::from_millis(10), Duration::from_millis(500), 7);
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500), 7);
+        for _ in 0..32 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn delays_stay_in_bounds_and_grow_from_base() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        let mut backoff = Backoff::new(base, cap, 42);
+        let mut prev = base;
+        for _ in 0..64 {
+            let d = backoff.next_delay();
+            assert!(d >= base, "delay {d:?} below base");
+            assert!(d <= cap, "delay {d:?} above cap");
+            assert!(
+                d <= prev.saturating_mul(3).max(base).min(cap.max(base)),
+                "delay {d:?} exceeds prev*3 ({prev:?})"
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_growth() {
+        let base = Duration::from_millis(10);
+        let mut backoff = Backoff::new(base, Duration::from_millis(500), 9);
+        for _ in 0..16 {
+            backoff.next_delay();
+        }
+        backoff.reset();
+        let first = backoff.next_delay();
+        assert!(
+            first <= base.saturating_mul(3),
+            "post-reset delay {first:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_config_is_clamped_not_panicking() {
+        let mut backoff = Backoff::new(Duration::ZERO, Duration::ZERO, 0);
+        for _ in 0..8 {
+            let d = backoff.next_delay();
+            assert!(d > Duration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-replica circuit breaker: closed → open on consecutive failures →
+//! half-open probe after a cooldown.
+//!
+//! The breaker is deliberately tiny: it counts *consecutive* failures (any
+//! success rewinds to zero), opens at a threshold, and derives `HalfOpen`
+//! from elapsed time instead of running a timer thread. A half-open breaker
+//! admits exactly the traffic the caller chooses to probe with; a probe
+//! failure re-arms the cooldown, a probe success closes the breaker.
+
+use std::time::{Duration, Instant};
+
+/// Observable state of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: the replica is skipped until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the replica may be probed with real traffic; the
+    /// next recorded outcome decides between `Closed` and a re-armed `Open`.
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker with a time-derived half-open state.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Closed { fails: u32 },
+    Open { since: Instant },
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive failures
+    /// and allows a half-open probe once `cooldown` has elapsed.
+    /// `threshold` is clamped to at least 1.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Inner::Closed { fails: 0 },
+        }
+    }
+
+    /// Current state (derives [`BreakerState::HalfOpen`] from elapsed time).
+    pub fn state(&self) -> BreakerState {
+        match &self.inner {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { since } => {
+                if since.elapsed() >= self.cooldown {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        }
+    }
+
+    /// May a request be sent to this replica right now? `Closed` and
+    /// `HalfOpen` admit; `Open` does not.
+    pub fn admits(&self) -> bool {
+        self.state() != BreakerState::Open
+    }
+
+    /// Record a successful outcome: the breaker closes and the consecutive
+    /// failure count rewinds to zero.
+    pub fn record_success(&mut self) {
+        self.inner = Inner::Closed { fails: 0 };
+    }
+
+    /// Record a failed outcome. In `Closed`, bumps the consecutive count
+    /// and opens at the threshold; in `Open`/`HalfOpen` (a failed probe),
+    /// re-arms the cooldown from now.
+    pub fn record_failure(&mut self) {
+        self.inner = match self.inner {
+            Inner::Closed { fails } => {
+                let fails = fails + 1;
+                if fails >= self.threshold {
+                    Inner::Open {
+                        since: Instant::now(),
+                    }
+                } else {
+                    Inner::Closed { fails }
+                }
+            }
+            Inner::Open { .. } => Inner::Open {
+                since: Instant::now(),
+            },
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_at_threshold_and_success_rewinds() {
+        let mut b = CircuitBreaker::new(3, Duration::from_millis(50));
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "success must rewind count");
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admits());
+    }
+
+    #[test]
+    fn half_open_after_cooldown_probe_success_closes() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(5));
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admits());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_rearms_cooldown() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(20));
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-arms");
+    }
+
+    #[test]
+    fn zero_threshold_clamps_to_one() {
+        let mut b = CircuitBreaker::new(0, Duration::from_secs(1));
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

@@ -1,0 +1,344 @@
+//! [`FaultProxy`]: a deterministic fault-injection TCP proxy for the chaos
+//! battery.
+//!
+//! The proxy sits between a client and one replica. Client→server bytes
+//! pass through untouched (requests must arrive, or "exactly one outcome
+//! per request" is unprovable); server→client traffic is re-framed at
+//! `MGW1` boundaries, and each response frame rolls against a seeded
+//! [`FaultPlan`]:
+//!
+//! * **drop** — the frame vanishes and both directions are torn down (the
+//!   client sees a reset mid-response, the classic failed replica);
+//! * **delay** — the frame is held for a fixed pause, then forwarded (the
+//!   slow replica, for exercising deadlines);
+//! * **truncate** — half the frame is written, then the connection is torn
+//!   down (the crash mid-write, a torn frame);
+//! * **bit-flip** — one random bit inside the payload/checksum region is
+//!   flipped and the frame forwarded (corruption the checksum must catch;
+//!   framing stays aligned, so the client gets a typed decode error on a
+//!   connection that stays up).
+//!
+//! Every roll comes from a per-connection PRNG derived from the plan seed
+//! and the connection index, so a given seed replays the same schedule —
+//! the harness can assert exact outcomes, not probabilistic ones.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::net::wire::{FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+
+use super::backoff::XorShift64;
+
+/// What the proxy decided to do with one server→client frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass the frame through untouched.
+    Forward,
+    /// Discard the frame and tear the connection down.
+    Drop,
+    /// Hold the frame for [`FaultPlan::delay`], then forward it.
+    Delay,
+    /// Forward only the first half of the frame, then tear down.
+    Truncate,
+    /// Flip one random bit in the payload/checksum region and forward.
+    BitFlip,
+}
+
+/// A seeded schedule of frame faults, expressed in per-mille odds. The
+/// rates are evaluated in order (drop, delay, truncate, bit-flip) against
+/// one roll in `0..1000`; the remainder forwards cleanly. Rates summing
+/// past 1000 saturate (later faults never fire).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the per-connection PRNGs.
+    pub seed: u64,
+    /// Per-mille odds a response frame is dropped (with connection
+    /// teardown).
+    pub drop_per_mille: u32,
+    /// Per-mille odds a response frame is delayed by [`FaultPlan::delay`].
+    pub delay_per_mille: u32,
+    /// The pause applied to delayed frames.
+    pub delay: Duration,
+    /// Per-mille odds a response frame is truncated mid-write (with
+    /// connection teardown).
+    pub truncate_per_mille: u32,
+    /// Per-mille odds one payload/checksum bit is flipped.
+    pub bit_flip_per_mille: u32,
+}
+
+impl Default for FaultPlan {
+    /// A transparent plan: no faults, 10ms delay if one is enabled.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0x6d6f_6775_6c00_0002,
+            drop_per_mille: 0,
+            delay_per_mille: 0,
+            delay: Duration::from_millis(10),
+            truncate_per_mille: 0,
+            bit_flip_per_mille: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Roll the plan against `rng` for one frame.
+    fn action(&self, rng: &mut XorShift64) -> FaultAction {
+        let roll = (rng.next_u64() % 1000) as u32;
+        let mut edge = self.drop_per_mille;
+        if roll < edge {
+            return FaultAction::Drop;
+        }
+        edge = edge.saturating_add(self.delay_per_mille);
+        if roll < edge {
+            return FaultAction::Delay;
+        }
+        edge = edge.saturating_add(self.truncate_per_mille);
+        if roll < edge {
+            return FaultAction::Truncate;
+        }
+        edge = edge.saturating_add(self.bit_flip_per_mille);
+        if roll < edge {
+            return FaultAction::BitFlip;
+        }
+        FaultAction::Forward
+    }
+}
+
+/// A fault-injecting TCP proxy in front of one replica. Listens on an
+/// ephemeral local port; every accepted connection is piped to the
+/// upstream replica with the [`FaultPlan`] applied to response frames.
+/// Dropping the proxy shuts it down.
+#[derive(Debug)]
+pub struct FaultProxy {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Start a proxy on an ephemeral `127.0.0.1` port forwarding to
+    /// `upstream` with `plan` applied.
+    pub fn spawn(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || accept_loop(listener, upstream, plan, stop))
+        };
+        Ok(FaultProxy {
+            local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should connect to instead of the replica.
+    pub fn addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stop accepting and join the accept thread. In-flight connection
+    /// handlers are detached and die with their sockets. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection (the same
+        // idiom the server's drain path uses).
+        let _ = TcpStream::connect(self.local);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conn_index = 0u64;
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(client) = incoming else { continue };
+        // Derive the per-connection schedule from the plan seed and the
+        // connection index, so a run with a fixed seed replays exactly.
+        let seed = plan.seed ^ conn_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        conn_index += 1;
+        let plan = plan.clone();
+        thread::spawn(move || handle_conn(client, upstream, plan, XorShift64::new(seed)));
+    }
+}
+
+fn handle_conn(client: TcpStream, upstream: SocketAddr, plan: FaultPlan, mut rng: XorShift64) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+
+    // Client→server: a plain byte pump. Requests always arrive intact — the
+    // harness proves response-path fault handling, and "every request has
+    // exactly one outcome" requires the server to have seen the request.
+    let pump = {
+        let (Ok(mut from), Ok(to)) = (client.try_clone(), server.try_clone()) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+            return;
+        };
+        thread::spawn(move || {
+            let mut to = to;
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if to.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = to.shutdown(Shutdown::Write);
+        })
+    };
+
+    // Server→client: parse MGW1 frame boundaries and roll the plan per
+    // frame.
+    let mut from = server.try_clone().ok();
+    if let Some(from) = from.as_mut() {
+        let mut to = client.try_clone().ok();
+        if let Some(to) = to.as_mut() {
+            pump_frames(from, to, &plan, &mut rng);
+        }
+    }
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+    let _ = pump.join();
+}
+
+/// Forward whole frames from `from` to `to`, applying the plan. Returns
+/// when either side fails or a fault tears the connection down.
+fn pump_frames(from: &mut TcpStream, to: &mut TcpStream, plan: &FaultPlan, rng: &mut XorShift64) {
+    loop {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        if from.read_exact(&mut header).is_err() {
+            return;
+        }
+        let declared =
+            u32::from_le_bytes([header[15], header[16], header[17], header[18]]) as usize;
+        if declared > MAX_FRAME_PAYLOAD {
+            // Not a frame we understand; forward what we have and stop
+            // re-framing (the replica never sends this, but fail safe).
+            let _ = to.write_all(&header);
+            return;
+        }
+        // Payload plus the 8-byte trailing checksum.
+        let mut body = vec![0u8; declared + 8];
+        if from.read_exact(&mut body).is_err() {
+            return;
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+        frame.extend_from_slice(&header);
+        frame.extend_from_slice(&body);
+        match plan.action(rng) {
+            FaultAction::Forward => {
+                if to.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+            FaultAction::Drop => {
+                tear_down(from, to);
+                return;
+            }
+            FaultAction::Delay => {
+                thread::sleep(plan.delay);
+                if to.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+            FaultAction::Truncate => {
+                let half = frame.len() / 2;
+                let _ = to.write_all(&frame[..half]);
+                tear_down(from, to);
+                return;
+            }
+            FaultAction::BitFlip => {
+                // Only touch payload/checksum bytes: framing stays aligned,
+                // so the client sees a typed checksum/decode error on a
+                // connection that remains usable. The region is never empty
+                // (the checksum alone is 8 bytes).
+                let bit = (rng.next_u64() % (body.len() as u64 * 8)) as usize;
+                frame[FRAME_HEADER_LEN + bit / 8] ^= 1 << (bit % 8);
+                if to.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn tear_down(from: &mut TcpStream, to: &mut TcpStream) {
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_rolls_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            drop_per_mille: 100,
+            delay_per_mille: 100,
+            truncate_per_mille: 100,
+            bit_flip_per_mille: 100,
+            ..FaultPlan::default()
+        };
+        let mut a = XorShift64::new(99);
+        let mut b = XorShift64::new(99);
+        for _ in 0..256 {
+            assert_eq!(plan.action(&mut a), plan.action(&mut b));
+        }
+    }
+
+    #[test]
+    fn transparent_plan_always_forwards() {
+        let plan = FaultPlan::default();
+        let mut rng = XorShift64::new(1);
+        for _ in 0..256 {
+            assert_eq!(plan.action(&mut rng), FaultAction::Forward);
+        }
+    }
+
+    #[test]
+    fn saturated_plan_never_forwards() {
+        let plan = FaultPlan {
+            drop_per_mille: 500,
+            delay_per_mille: 500,
+            ..FaultPlan::default()
+        };
+        let mut rng = XorShift64::new(2);
+        for _ in 0..256 {
+            let action = plan.action(&mut rng);
+            assert!(
+                matches!(action, FaultAction::Drop | FaultAction::Delay),
+                "unexpected action {action:?}"
+            );
+        }
+    }
+}

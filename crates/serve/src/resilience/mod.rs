@@ -1,0 +1,47 @@
+//! The fault-tolerant serving tier: replica failover, deadlines, retry
+//! with decorrelated-jitter backoff, per-replica circuit breakers, and a
+//! deterministic fault-injection harness.
+//!
+//! The network front door ([`crate::net`]) gives one replica a typed
+//! error contract: every failure a client can see is either retryable
+//! (`Overloaded`, `Draining`, `Incomplete`, transport trouble) or not
+//! (`BadRequest`, `Durability`, …), decided by
+//! [`ServeError::is_retryable`](crate::ServeError::is_retryable). This
+//! module turns that contract into availability:
+//!
+//! * [`ReplicaSet`] — the failover client. One logical query is attempted
+//!   against N replicas under a per-request deadline: sticky-cursor
+//!   routing, exponential backoff with decorrelated jitter between
+//!   retryable failures, and a per-replica [`CircuitBreaker`]
+//!   (closed → open on consecutive failures → half-open probe via a
+//!   Stats frame). The result is always one of: an answer, a typed
+//!   non-retryable rejection, or typed exhaustion — never a hang past
+//!   the deadline.
+//! * [`Backoff`] — the seeded jitter schedule, deterministic per seed.
+//! * [`CircuitBreaker`] — the consecutive-failure breaker with a
+//!   time-derived half-open state.
+//! * [`FaultProxy`] / [`FaultPlan`] — the chaos harness: a TCP proxy that
+//!   drops, delays, truncates and bit-flips response frames on a seeded,
+//!   replayable schedule. Together with the sharded engine's in-process
+//!   fault injector ([`ShardedServer::set_fault_injector`](crate::ShardedServer::set_fault_injector))
+//!   and process kills, it drives the battery in
+//!   `tests/resilience_failover.rs` that proves the contract above.
+//!
+//! Everything is plain `std`, mirroring the rest of the serving tier: no
+//! async runtime, no timer wheels — deadlines are socket timeouts plus
+//! wall-clock checks, and all randomness is seeded XorShift64 so every
+//! schedule replays exactly.
+//!
+//! See `docs/OPERATIONS.md` ("Resilience tuning") for how the knobs
+//! compose, and `docs/NETWORKING.md` for the wire-level degraded-answer
+//! field the failover client consumes.
+
+mod backoff;
+mod breaker;
+mod fault;
+mod replica;
+
+pub use backoff::Backoff;
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use fault::{FaultAction, FaultPlan, FaultProxy};
+pub use replica::{FailoverError, ReplicaSet, ReplicaSetConfig, ReplicaSetConfigBuilder};

@@ -25,15 +25,17 @@
 //!   how many shards each query skipped.
 
 use crate::error::{ServeError, ServeResult};
-use crate::request::{QueryRequest, QueryResponse, UpdateRequest};
+use crate::request::{QueryRequest, QueryResponse, ResponseStatus, UpdateRequest};
 use mogul_core::shard::ShardedUpdateReport;
 use mogul_core::update::{IndexDelta, RebuildDebt};
 use mogul_core::{
     OutOfSampleResult, PersistError, ShardScatterStats, ShardedIndex, ShardedSnapshot,
     ShardedWorkspace, TopKResult,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 /// Recycles [`ShardedWorkspace`]s across batches (same policy as the
 /// monolithic server's pool: retain at most `cap`, drop the surplus).
@@ -67,6 +69,35 @@ impl ShardedWorkspacePool {
     }
 }
 
+/// One fault injected into a scatter leg by a
+/// [`ShardedServer::set_fault_injector`] hook — the deterministic
+/// fault-injection surface the degraded-mode tests and benchmarks drive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardFault {
+    /// The shard answers with this typed error instead of a result.
+    Error(ServeError),
+    /// The shard's solve panics; the degraded scatter loop contains the
+    /// panic (and discards the possibly-poisoned workspace).
+    Panic,
+    /// The shard stalls for this long before answering — long enough, and
+    /// the [`DegradedPolicy::scatter_deadline`] fails the leg.
+    Stall(Duration),
+}
+
+/// Signature of a fault injector: called with the shard index about to be
+/// probed; `None` means the shard is healthy.
+pub type ShardFaultFn = dyn Fn(usize) -> Option<ShardFault> + Send + Sync;
+
+/// Policy knobs of [`ShardedServer::query_degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradedPolicy {
+    /// Wall-clock budget for one whole scatter: once a query has been
+    /// scattering longer than this, every not-yet-probed leg is treated as
+    /// failed (the answer degrades to the legs already gathered). `None`
+    /// (the default) disables the deadline.
+    pub scatter_deadline: Option<Duration>,
+}
+
 /// A thread-safe query server over an epoch-versioned, `Arc`-shared
 /// [`ShardedSnapshot`] — the sharded counterpart of
 /// [`QueryServer`](crate::QueryServer), speaking the same
@@ -94,10 +125,31 @@ impl ShardedWorkspacePool {
 /// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
 pub struct ShardedServer {
     state: RwLock<Arc<ShardedSnapshot>>,
     pool: ShardedWorkspacePool,
+    degraded: RwLock<DegradedPolicy>,
+    injector: RwLock<Option<Arc<ShardFaultFn>>>,
+}
+
+impl std::fmt::Debug for ShardedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServer")
+            .field("epoch", &self.epoch())
+            .field(
+                "degraded",
+                &*self.degraded.read().unwrap_or_else(PoisonError::into_inner),
+            )
+            .field(
+                "fault_injector",
+                &self
+                    .injector
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_some(),
+            )
+            .finish()
+    }
 }
 
 impl ShardedServer {
@@ -108,6 +160,8 @@ impl ShardedServer {
             // A handful of retained workspaces covers the steady state of
             // concurrent batch callers; spikes allocate extras and drop them.
             pool: ShardedWorkspacePool::with_capacity(4),
+            degraded: RwLock::new(DegradedPolicy::default()),
+            injector: RwLock::new(None),
         }
     }
 
@@ -202,6 +256,166 @@ impl ShardedServer {
         })();
         self.pool.checkin(ws);
         result
+    }
+
+    /// The active [`DegradedPolicy`].
+    pub fn degraded_policy(&self) -> DegradedPolicy {
+        *self.degraded.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Install a [`DegradedPolicy`] (applies to queries starting after the
+    /// call).
+    pub fn set_degraded_policy(&self, policy: DegradedPolicy) {
+        *self
+            .degraded
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = policy;
+    }
+
+    /// Install (or clear) the deterministic fault injector consulted once
+    /// per scatter leg by [`ShardedServer::query_degraded`]. Production
+    /// servers leave this `None`; the fault-injection harness and the
+    /// chaos benchmarks use it to fail, stall or panic specific shards on
+    /// a seeded schedule.
+    pub fn set_fault_injector(&self, injector: Option<Arc<ShardFaultFn>>) {
+        *self
+            .injector
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = injector;
+    }
+
+    /// Answer one request with **degraded-mode scatter-gather**: a probed
+    /// shard that fails — typed error, contained panic, injected fault, or
+    /// the [`DegradedPolicy::scatter_deadline`] — is dropped from the
+    /// gather instead of failing the whole query, and the merged answer of
+    /// the surviving legs is tagged [`ResponseStatus::Degraded`]. The
+    /// merge reuses the exact gather semantics of the healthy path
+    /// ([`ShardedSnapshot::merge_scatter`]), so:
+    ///
+    /// * when every probed shard answers, the response is **bit-identical**
+    ///   to [`ShardedServer::query`] and tagged
+    ///   [`ResponseStatus::Complete`];
+    /// * when a subset answers, the response is a true sub-merge of the
+    ///   healthy shards' answers.
+    ///
+    /// `require_complete` demands completeness: a query that would degrade
+    /// fails typed with [`ServeError::Incomplete`] instead (retryable —
+    /// another replica may hold every shard healthy). A query no probed
+    /// shard could answer fails the same way regardless of the flag. An
+    /// in-database query has exactly one owning shard, so it either
+    /// answers complete or fails `Incomplete { 0, 1 }`.
+    pub fn query_degraded(
+        &self,
+        request: &QueryRequest,
+        require_complete: bool,
+    ) -> ServeResult<(QueryResponse, ResponseStatus)> {
+        let snapshot = self.snapshot();
+        request.validate_sharded(&snapshot)?;
+        let policy = self.degraded_policy();
+        let injector = self
+            .injector
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let started = Instant::now();
+        let over_deadline = |started: &Instant| {
+            policy
+                .scatter_deadline
+                .is_some_and(|d| started.elapsed() > d)
+        };
+
+        match request {
+            QueryRequest::InDatabase { node, k } => {
+                let shard = snapshot.shard_of(*node).expect("validated id is live");
+                let failed = || ServeError::Incomplete {
+                    shards_answered: 0,
+                    shards_total: 1,
+                };
+                let fault = injector.as_ref().and_then(|f| f(shard));
+                if let Some(ShardFault::Stall(pause)) = &fault {
+                    std::thread::sleep(*pause);
+                }
+                if matches!(fault, Some(ShardFault::Error(_))) || over_deadline(&started) {
+                    return Err(failed());
+                }
+                let inject_panic = matches!(fault, Some(ShardFault::Panic));
+                let mut ws = self.pool.checkout();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if inject_panic {
+                        panic!("injected shard fault: panic in shard {shard}");
+                    }
+                    snapshot.query_by_id_in(&mut ws, *node, *k)
+                }));
+                match outcome {
+                    Ok(Ok(top)) => {
+                        self.pool.checkin(ws);
+                        Ok((QueryResponse::InDatabase(top), ResponseStatus::Complete))
+                    }
+                    // Typed shard failure or contained panic (the workspace
+                    // may be mid-mutation after a panic; it is dropped, not
+                    // pooled).
+                    _ => Err(failed()),
+                }
+            }
+            QueryRequest::OutOfSample { feature, k } => {
+                let order = snapshot.probe_order(feature)?;
+                let probes = &order[..snapshot.shard_probes().min(order.len())];
+                let mut ws = self.pool.checkout();
+                let mut legs: Vec<OutOfSampleResult> = Vec::with_capacity(probes.len());
+                for &shard in probes {
+                    // Over budget: every remaining leg fails (degrading the
+                    // answer to the legs already gathered).
+                    if over_deadline(&started) {
+                        continue;
+                    }
+                    let fault = injector.as_ref().and_then(|f| f(shard));
+                    match &fault {
+                        Some(ShardFault::Error(_)) => continue,
+                        Some(ShardFault::Stall(pause)) => {
+                            std::thread::sleep(*pause);
+                            if over_deadline(&started) {
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                    let inject_panic = matches!(fault, Some(ShardFault::Panic));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if inject_panic {
+                            panic!("injected shard fault: panic in shard {shard}");
+                        }
+                        snapshot.query_shard_by_feature_in(&mut ws, shard, feature, *k)
+                    }));
+                    match outcome {
+                        Ok(Ok(leg)) => legs.push(leg),
+                        Ok(Err(_)) => {}
+                        Err(_) => {
+                            // A panicking leg may leave the workspace
+                            // mid-mutation; replace it rather than reuse it.
+                            ws = ShardedWorkspace::new();
+                        }
+                    }
+                }
+                self.pool.checkin(ws);
+                let (shards_answered, shards_total) = (legs.len(), probes.len());
+                if shards_answered == 0 || (shards_answered < shards_total && require_complete) {
+                    return Err(ServeError::Incomplete {
+                        shards_answered,
+                        shards_total,
+                    });
+                }
+                let status = if shards_answered == shards_total {
+                    ResponseStatus::Complete
+                } else {
+                    ResponseStatus::Degraded {
+                        shards_answered,
+                        shards_total,
+                    }
+                };
+                let merged = ShardedSnapshot::merge_scatter(*k, &legs);
+                Ok((QueryResponse::OutOfSample(Box::new(merged)), status))
+            }
+        }
     }
 
     /// Answer a batch of (possibly mixed) requests, preserving order.

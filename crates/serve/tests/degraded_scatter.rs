@@ -1,0 +1,277 @@
+//! Degraded-mode scatter-gather: when a probed shard fails — typed error,
+//! contained panic, or blown per-scatter deadline — the merged answer of
+//! the surviving shards comes back tagged
+//! [`ResponseStatus::Degraded`], and it is a **true sub-merge**: bit-
+//! identical to [`ShardedSnapshot::merge_scatter`] over exactly the legs
+//! that answered, in probe order. Strict callers (`require_complete`) fail
+//! typed with [`ServeError::Incomplete`] instead of degrading.
+//!
+//! Shard failures are injected deterministically through
+//! [`ShardedServer::set_fault_injector`], the in-process half of the
+//! fault-injection harness.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mogul_core::update::IndexBuilder;
+use mogul_core::{ShardedConfig, ShardedIndex, ShardedSnapshot, ShardedWorkspace};
+use mogul_serve::{
+    DegradedPolicy, QueryRequest, QueryResponse, ResponseStatus, ServeError, ShardFault,
+    ShardedServer, ShardedWriter,
+};
+
+const K: usize = 5;
+
+/// Three well-separated clusters of 16 items each; a 3-shard partition
+/// recovers them. Every out-of-sample query probes all three shards
+/// (`shard_probes = 3`), so one failed shard degrades rather than
+/// misroutes.
+fn features() -> Vec<Vec<f64>> {
+    let mut features = Vec::new();
+    for c in 0..3 {
+        for i in 0..16 {
+            features.push(vec![
+                100.0 * c as f64 + 0.07 * i as f64,
+                10.0 * c as f64 + 0.03 * (i % 5) as f64,
+            ]);
+        }
+    }
+    features
+}
+
+fn build_server() -> (Arc<ShardedServer>, Arc<ShardedSnapshot>) {
+    let config = ShardedConfig::with_shards(3)
+        .shard_probes(3)
+        .builder(IndexBuilder::new().knn_k(4).exact_ranking());
+    let (index, _report) = ShardedIndex::build(features(), config).unwrap();
+    let snapshot = index.snapshot();
+    let (server, _writer) = ShardedWriter::new(index);
+    (server, snapshot)
+}
+
+fn probe_feature() -> Vec<f64> {
+    // Near cluster 0 but not on any item: all three shards contribute real
+    // distance-ordered legs.
+    vec![0.5, 0.01]
+}
+
+/// Fail exactly the given shards with a typed error.
+fn fail_shards(server: &ShardedServer, shards: &'static [usize]) {
+    server.set_fault_injector(Some(Arc::new(move |shard| {
+        shards.contains(&shard).then(|| {
+            ShardFault::Error(ServeError::Config {
+                reason: format!("injected fault on shard {shard}"),
+            })
+        })
+    })));
+}
+
+#[test]
+fn healthy_scatter_is_complete_and_bit_identical_to_the_snapshot() {
+    let (server, snapshot) = build_server();
+    let feature = probe_feature();
+    let request = QueryRequest::out_of_sample(feature.clone(), K);
+    let (response, status) = server.query_degraded(&request, true).unwrap();
+    assert_eq!(status, ResponseStatus::Complete);
+    let mut ws = ShardedWorkspace::new();
+    let want = snapshot.query_by_feature_in(&mut ws, &feature, K).unwrap();
+    let got = match &response {
+        QueryResponse::OutOfSample(result) => result,
+        other => panic!("wrong response shape: {other:?}"),
+    };
+    assert_eq!(
+        got.top_k, want.top_k,
+        "degraded path must not change answers"
+    );
+    assert_eq!(got.neighbors, want.neighbors);
+
+    let in_db = QueryRequest::in_database(3, K);
+    let (response, status) = server.query_degraded(&in_db, true).unwrap();
+    assert_eq!(status, ResponseStatus::Complete);
+    let want = snapshot.query_by_id_in(&mut ws, 3, K).unwrap();
+    match response {
+        QueryResponse::InDatabase(got) => assert_eq!(got, want),
+        other => panic!("wrong response shape: {other:?}"),
+    }
+}
+
+#[test]
+fn degraded_answer_is_the_exact_merge_of_the_surviving_legs() {
+    let (server, snapshot) = build_server();
+    let feature = probe_feature();
+    let order = snapshot.probe_order(&feature).unwrap();
+    assert_eq!(order.len(), 3);
+
+    // Fail the *second* probed shard: survivors are a non-trivial,
+    // non-prefix subset of the probe order.
+    let failed = order[1];
+    let leaked: &'static [usize] = Box::leak(vec![failed].into_boxed_slice());
+    fail_shards(&server, leaked);
+
+    let request = QueryRequest::out_of_sample(feature.clone(), K);
+    let (response, status) = server.query_degraded(&request, false).unwrap();
+    assert_eq!(
+        status,
+        ResponseStatus::Degraded {
+            shards_answered: 2,
+            shards_total: 3
+        }
+    );
+
+    // Reference merge: the surviving legs, queried directly against the
+    // snapshot, merged with the gather's own merge — in probe order.
+    let mut ws = ShardedWorkspace::new();
+    let legs: Vec<_> = order
+        .iter()
+        .filter(|&&shard| shard != failed)
+        .map(|&shard| {
+            snapshot
+                .query_shard_by_feature_in(&mut ws, shard, &feature, K)
+                .unwrap()
+        })
+        .collect();
+    let want = ShardedSnapshot::merge_scatter(K, &legs);
+    let got = match &response {
+        QueryResponse::OutOfSample(result) => result,
+        other => panic!("wrong response shape: {other:?}"),
+    };
+    assert_eq!(
+        got.top_k, want.top_k,
+        "degraded answer must be the exact sub-merge"
+    );
+    assert_eq!(got.neighbors, want.neighbors);
+    assert_eq!(got.stats, want.stats);
+}
+
+#[test]
+fn require_complete_fails_typed_instead_of_degrading() {
+    let (server, _snapshot) = build_server();
+    fail_shards(&server, &[0]);
+    let request = QueryRequest::out_of_sample(probe_feature(), K);
+    let err = server.query_degraded(&request, true).unwrap_err();
+    match err {
+        ServeError::Incomplete {
+            shards_answered,
+            shards_total,
+        } => {
+            assert_eq!((shards_answered, shards_total), (2, 3));
+        }
+        other => panic!("expected Incomplete, got {other:?}"),
+    }
+    assert!(
+        err.is_retryable(),
+        "Incomplete must be retryable — another replica may be whole"
+    );
+    // The same request without the strict flag degrades instead.
+    let (_, status) = server.query_degraded(&request, false).unwrap();
+    assert!(status.is_degraded());
+}
+
+#[test]
+fn a_panicking_shard_is_contained_and_the_server_stays_healthy() {
+    let (server, snapshot) = build_server();
+    server.set_fault_injector(Some(Arc::new(|shard| {
+        (shard == 1).then_some(ShardFault::Panic)
+    })));
+    let request = QueryRequest::out_of_sample(probe_feature(), K);
+    let (_, status) = server.query_degraded(&request, false).unwrap();
+    assert_eq!(
+        status,
+        ResponseStatus::Degraded {
+            shards_answered: 2,
+            shards_total: 3
+        },
+        "a panic inside one shard must degrade, not poison the query"
+    );
+
+    // Clear the fault: the server (and its workspace pool) must be fully
+    // healthy again, answering complete and bit-identical.
+    server.set_fault_injector(None);
+    let feature = probe_feature();
+    let (response, status) = server.query_degraded(&request, true).unwrap();
+    assert_eq!(status, ResponseStatus::Complete);
+    let mut ws = ShardedWorkspace::new();
+    let want = snapshot.query_by_feature_in(&mut ws, &feature, K).unwrap();
+    match &response {
+        QueryResponse::OutOfSample(got) => assert_eq!(got.top_k, want.top_k),
+        other => panic!("wrong response shape: {other:?}"),
+    }
+}
+
+#[test]
+fn a_stalled_shard_blows_the_scatter_deadline_and_degrades() {
+    let (server, snapshot) = build_server();
+    let feature = probe_feature();
+    let order = snapshot.probe_order(&feature).unwrap();
+    // Stall the last-probed shard: the earlier legs are already gathered
+    // when the deadline expires.
+    let stalled = *order.last().unwrap();
+    server.set_degraded_policy(DegradedPolicy {
+        scatter_deadline: Some(Duration::from_millis(40)),
+    });
+    server.set_fault_injector(Some(Arc::new(move |shard| {
+        (shard == stalled).then_some(ShardFault::Stall(Duration::from_millis(120)))
+    })));
+
+    let request = QueryRequest::out_of_sample(feature, K);
+    let started = Instant::now();
+    let (_, status) = server.query_degraded(&request, false).unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(
+        status,
+        ResponseStatus::Degraded {
+            shards_answered: 2,
+            shards_total: 3
+        }
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "the stall must not leak past the deadline budget, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn in_database_queries_have_one_owning_shard_and_fail_incomplete() {
+    let (server, snapshot) = build_server();
+    let node = 20usize; // cluster 1 → shard owned by that cluster
+    let owner = snapshot.shard_of(node).unwrap();
+    let leaked: &'static [usize] = Box::leak(vec![owner].into_boxed_slice());
+    fail_shards(&server, leaked);
+
+    let request = QueryRequest::in_database(node, K);
+    let err = server.query_degraded(&request, false).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServeError::Incomplete {
+                shards_answered: 0,
+                shards_total: 1
+            }
+        ),
+        "an in-database query cannot degrade — got {err:?}"
+    );
+
+    server.set_fault_injector(None);
+    let (_, status) = server.query_degraded(&request, false).unwrap();
+    assert_eq!(status, ResponseStatus::Complete);
+}
+
+#[test]
+fn all_shards_failed_is_incomplete_regardless_of_strictness() {
+    let (server, _snapshot) = build_server();
+    fail_shards(&server, &[0, 1, 2]);
+    let request = QueryRequest::out_of_sample(probe_feature(), K);
+    for strict in [false, true] {
+        let err = server.query_degraded(&request, strict).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Incomplete {
+                    shards_answered: 0,
+                    shards_total: 3
+                }
+            ),
+            "strict={strict}: expected Incomplete(0/3), got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! The typed-error contract, exhaustively: every [`ServeError`] variant has
+//! a documented retryability, survives the wire, and keeps its
+//! retryability across the wire. The failover tier is built on this
+//! contract — a variant that silently changed class would make
+//! [`ReplicaSet`](mogul_serve::resilience::ReplicaSet) retry requests it
+//! must not (or give up on requests it could save).
+//!
+//! The tests are compile-forcing: `all_variants` matches `ServeError`
+//! without a wildcard, so adding a variant fails compilation here until
+//! the new variant is added to the exemplar list, the retryability table,
+//! and (via the round-trip assertion) the wire codec.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use mogul_serve::net::wire::{decode_serve_error, encode_serve_error, WireError};
+use mogul_serve::net::{NetClient, NetError};
+use mogul_serve::{QueryRequest, ServeError};
+
+use mogul_core::CoreError;
+
+/// One exemplar of every `ServeError` variant. The inner match has no
+/// wildcard arm: a new variant fails compilation here until it is added —
+/// which is the point.
+fn all_variants() -> Vec<ServeError> {
+    let exemplars = vec![
+        ServeError::Overloaded {
+            queue_depth: 7,
+            queue_capacity: 8,
+        },
+        ServeError::Draining,
+        ServeError::BadRequest {
+            reason: "k must be at least 1".into(),
+        },
+        ServeError::Index(CoreError::InvalidInput("singular factor".into())),
+        ServeError::Config {
+            reason: "workers must be at least 1".into(),
+        },
+        ServeError::Durability {
+            reason: "wal append failed".into(),
+        },
+        ServeError::Incomplete {
+            shards_answered: 2,
+            shards_total: 4,
+        },
+    ];
+    // Exhaustiveness guard: no wildcard. Adding a `ServeError` variant
+    // breaks this match at compile time; extend `exemplars` (and the
+    // retryability table below) when it does.
+    for exemplar in &exemplars {
+        match exemplar {
+            ServeError::Overloaded { .. } => {}
+            ServeError::Draining => {}
+            ServeError::BadRequest { .. } => {}
+            ServeError::Index(_) => {}
+            ServeError::Config { .. } => {}
+            ServeError::Durability { .. } => {}
+            ServeError::Incomplete { .. } => {}
+        }
+    }
+    exemplars
+}
+
+/// The contract table: which variants a failover client may retry against
+/// another replica.
+fn expected_retryable(error: &ServeError) -> bool {
+    match error {
+        // Transient server states: another replica (or a later moment) may
+        // answer.
+        ServeError::Overloaded { .. } => true,
+        ServeError::Draining => true,
+        // A degraded replica is not proof every replica is degraded.
+        ServeError::Incomplete { .. } => true,
+        // The request (or the deployment) is at fault; no amount of
+        // retrying fixes it.
+        ServeError::BadRequest { .. } => false,
+        ServeError::Index(_) => false,
+        ServeError::Config { .. } => false,
+        ServeError::Durability { .. } => false,
+    }
+}
+
+#[test]
+fn retryability_matrix_is_exactly_the_documented_table() {
+    let variants = all_variants();
+    assert_eq!(variants.len(), 7, "update this test alongside ServeError");
+    for error in &variants {
+        assert_eq!(
+            error.is_retryable(),
+            expected_retryable(error),
+            "retryability changed for {error:?} — the failover tier depends on this table"
+        );
+    }
+}
+
+#[test]
+fn every_variant_round_trips_the_wire_with_retryability_intact() {
+    for error in all_variants() {
+        let mut payload = Vec::new();
+        encode_serve_error(&error, &mut payload);
+        let decoded = decode_serve_error(&payload)
+            .unwrap_or_else(|err| panic!("variant {error:?} failed to decode: {err}"));
+        assert_eq!(
+            std::mem::discriminant(&decoded),
+            std::mem::discriminant(&error),
+            "variant changed across the wire: {error:?} -> {decoded:?}"
+        );
+        assert_eq!(
+            decoded.is_retryable(),
+            error.is_retryable(),
+            "retryability changed across the wire for {error:?}"
+        );
+    }
+}
+
+#[test]
+fn net_error_classes_follow_the_serve_contract() {
+    for error in all_variants() {
+        let expected = error.is_retryable();
+        assert_eq!(
+            NetError::Serve(error).is_retryable(),
+            expected,
+            "NetError::Serve must delegate to ServeError::is_retryable"
+        );
+    }
+    // Transport and protocol trouble says nothing about the request:
+    // always retryable.
+    assert!(NetError::Wire(WireError::TimedOut {
+        detail: "read".into()
+    })
+    .is_retryable());
+    assert!(NetError::Wire(WireError::Payload("corrupt".into())).is_retryable());
+    assert!(NetError::Protocol("unexpected frame".into()).is_retryable());
+}
+
+#[test]
+fn io_timeouts_map_to_the_typed_timed_out_variant() {
+    for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+        let wire = WireError::from(std::io::Error::new(kind, "socket timeout"));
+        assert!(
+            matches!(wire, WireError::TimedOut { .. }),
+            "{kind:?} must map to WireError::TimedOut, got {wire:?}"
+        );
+    }
+    let other = WireError::from(std::io::Error::new(
+        std::io::ErrorKind::ConnectionReset,
+        "reset",
+    ));
+    assert!(matches!(other, WireError::Io { .. }));
+}
+
+#[test]
+fn a_stalled_server_fails_the_query_typed_within_the_read_timeout() {
+    // A listener that accepts, reads the request, and never answers — the
+    // unbounded-block case `NetClient::query` used to hang on.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 1024];
+        // Swallow the request, then stall until the client gives up.
+        let _ = sock.read(&mut buf);
+        std::thread::sleep(Duration::from_secs(5));
+        let _ = sock.write_all(&buf[..0]);
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let request = QueryRequest::InDatabase { node: 0, k: 1 };
+    let started = Instant::now();
+    let err = client.query(&request).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, NetError::Wire(WireError::TimedOut { .. })),
+        "expected typed timeout, got {err:?}"
+    );
+    assert!(err.is_retryable(), "a timeout must be retryable");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "timeout must fire near the deadline, took {elapsed:?}"
+    );
+    drop(client);
+    drop(stall); // detached; dies with its socket after its sleep
+}

@@ -205,10 +205,45 @@ fn stats_report_payload_round_trips() {
         rebuild_support: 512,
         rebuild_fraction: 0.256,
         draining: true,
+        shed_deadline: 7,
     };
     let mut payload = Vec::new();
     encode_stats_report(&report, &mut payload);
     assert_eq!(decode_stats_report(&payload).unwrap(), report);
+}
+
+#[test]
+fn stats_report_without_trailing_shed_deadline_decodes_zero() {
+    // A v1 server never wrote the trailing `shed_deadline` field; a new
+    // client must decode its payloads with the counter defaulting to zero.
+    let mut report = ServerStatsReport {
+        epoch: 3,
+        items: 10,
+        uptime_secs: 1.0,
+        connections: 1,
+        queue_depth: 0,
+        queue_capacity: 64,
+        inflight: 0,
+        completed: 5,
+        shed_overloaded: 0,
+        shed_draining: 0,
+        bad_requests: 0,
+        index_errors: 0,
+        p50_us: 10.0,
+        p95_us: 20.0,
+        qps: 100.0,
+        rebuild_support: 0,
+        rebuild_fraction: 0.0,
+        draining: false,
+        shed_deadline: 42,
+    };
+    let mut payload = Vec::new();
+    encode_stats_report(&report, &mut payload);
+    // Strip the trailing u64 to reconstruct the old-server payload.
+    payload.truncate(payload.len() - 8);
+    let decoded = decode_stats_report(&payload).unwrap();
+    report.shed_deadline = 0;
+    assert_eq!(decoded, report);
 }
 
 // ---------------------------------------------------------------------------
