@@ -245,6 +245,124 @@ fn parse_row_fields(bytes: &[u8], pos: &mut usize, name: String) -> Result<Scena
     }
 }
 
+/// A parsed baseline document: the top-level metadata plus every row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineDoc {
+    /// Short git revision the rows were measured at (`"unknown"` allowed).
+    pub git_rev: String,
+    /// Measurement date, `YYYY-MM-DD`.
+    pub date: String,
+    /// Whether the rows came from a `--smoke` run (unfit as a baseline).
+    pub smoke: bool,
+    /// The scenario rows, in file order.
+    pub rows: Vec<ScenarioRow>,
+}
+
+/// Parse and validate a **whole** baseline document against the schema in
+/// `docs/PERFORMANCE.md`: exactly the four top-level keys (`git_rev`,
+/// `date`, `smoke`, `scenarios`), a well-formed date, unique scenario names,
+/// and rows whose three fields are finite, non-negative and satisfy
+/// `p50_us ≤ p95_us`. `required` lists scenario names that must be present
+/// (pass `&[]` to skip the coverage check). Fails closed with a description
+/// of the first violation.
+pub fn validate_document(input: &str, required: &[&str]) -> Result<BaselineDoc, String> {
+    validate_json(input)?;
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err("baseline document must be an object".into());
+    }
+    pos += 1;
+    let (mut git_rev, mut date, mut smoke, mut rows) = (None, None, None, None);
+    loop {
+        skip_ws(bytes, &mut pos);
+        if bytes.get(pos) == Some(&b'}') {
+            break;
+        }
+        let key = parse_string_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos += 1;
+        skip_ws(bytes, &mut pos);
+        match key.as_str() {
+            "git_rev" => git_rev = Some(parse_string_value(bytes, &mut pos)?),
+            "date" => date = Some(parse_string_value(bytes, &mut pos)?),
+            "smoke" => {
+                smoke = Some(match bytes.get(pos) {
+                    Some(b't') => {
+                        parse_literal(bytes, &mut pos, "true")?;
+                        true
+                    }
+                    _ => {
+                        parse_literal(bytes, &mut pos, "false")?;
+                        false
+                    }
+                })
+            }
+            "scenarios" => rows = Some(parse_scenario_object(bytes, &mut pos)?),
+            other => return Err(format!("unknown top-level key {other:?}")),
+        }
+        skip_ws(bytes, &mut pos);
+        if bytes.get(pos) == Some(&b',') {
+            pos += 1;
+        }
+    }
+    let doc = BaselineDoc {
+        git_rev: git_rev.ok_or("missing top-level \"git_rev\"")?,
+        date: date.ok_or("missing top-level \"date\"")?,
+        smoke: smoke.ok_or("missing top-level \"smoke\"")?,
+        rows: rows.ok_or("missing top-level \"scenarios\"")?,
+    };
+    if doc.git_rev.is_empty() || !doc.git_rev.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Err(format!("malformed git_rev {:?}", doc.git_rev));
+    }
+    let d = doc.date.as_bytes();
+    let date_ok = d.len() == 10
+        && d[4] == b'-'
+        && d[7] == b'-'
+        && d.iter()
+            .enumerate()
+            .all(|(i, &c)| matches!(i, 4 | 7) || c.is_ascii_digit());
+    if !date_ok {
+        return Err(format!("malformed date {:?} (want YYYY-MM-DD)", doc.date));
+    }
+    for (i, row) in doc.rows.iter().enumerate() {
+        if row.name.is_empty() {
+            return Err(format!("scenario #{i} has an empty name"));
+        }
+        if doc.rows[..i].iter().any(|r| r.name == row.name) {
+            return Err(format!("duplicate scenario {:?}", row.name));
+        }
+        for (field, value) in [
+            ("p50_us", row.p50_us),
+            ("p95_us", row.p95_us),
+            ("qps", row.qps),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!(
+                    "scenario {:?}: {field} = {value} is invalid",
+                    row.name
+                ));
+            }
+        }
+        if row.p50_us > row.p95_us {
+            return Err(format!(
+                "scenario {:?}: p50_us {} exceeds p95_us {}",
+                row.name, row.p50_us, row.p95_us
+            ));
+        }
+    }
+    for &name in required {
+        if !doc.rows.iter().any(|r| r.name == name) {
+            return Err(format!("required scenario {name:?} is missing"));
+        }
+    }
+    Ok(doc)
+}
+
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
     while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_whitespace() {
         *pos += 1;
@@ -410,6 +528,66 @@ mod tests {
         assert!(parse_scenarios("{\"scenarios\": {}}").unwrap().is_empty());
         // A document with no scenarios key at all: no rows, not an error.
         assert!(parse_scenarios("{\"smoke\": false}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn validate_document_accepts_rendered_output() {
+        let json = render_json(&rows(), false);
+        let doc = validate_document(&json, &["search_scalar", "net_closed_c2"]).unwrap();
+        assert!(!doc.smoke);
+        assert_eq!(doc.date, today_utc());
+        assert_eq!(doc.rows.len(), 2);
+        // Required-row coverage is enforced.
+        let err = validate_document(&json, &["search_scalar", "kernel_scale_diag"]).unwrap_err();
+        assert!(err.contains("kernel_scale_diag"), "{err}");
+    }
+
+    #[test]
+    fn validate_document_rejects_schema_violations() {
+        let good = render_json(&rows(), false);
+        // Missing top-level key.
+        let missing = good.replacen("\"smoke\": false,\n", "", 1);
+        assert!(validate_document(&missing, &[])
+            .unwrap_err()
+            .contains("smoke"));
+        // Unknown top-level key.
+        let unknown = good.replacen("\"smoke\"", "\"smokey\"", 1);
+        assert!(validate_document(&unknown, &[])
+            .unwrap_err()
+            .contains("smokey"));
+        // Malformed date.
+        let bad_date = good.replacen(&today_utc(), "2026-8-8", 1);
+        assert!(validate_document(&bad_date, &[])
+            .unwrap_err()
+            .contains("date"));
+        // p50 above p95.
+        let inverted = good.replacen("\"p50_us\": 10.500", "\"p50_us\": 99.000", 1);
+        assert!(validate_document(&inverted, &[])
+            .unwrap_err()
+            .contains("exceeds"));
+        // Duplicate scenario name.
+        let duplicated = good.replacen("\"net_closed_c2\"", "\"search_scalar\"", 1);
+        assert!(validate_document(&duplicated, &[])
+            .unwrap_err()
+            .contains("duplicate"));
+        // Non-finite / negative values never sneak in.
+        let negative = good.replacen("\"qps\": 95000.0", "\"qps\": -1.0", 1);
+        assert!(validate_document(&negative, &[])
+            .unwrap_err()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn committed_baseline_matches_the_schema() {
+        // The repo-root BENCH_query.json must always validate; CI runs the
+        // same check via `perf_baseline --validate`.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_query.json at repo root");
+        let doc = validate_document(&json, &["search_scalar", "serve_panel_b32"]).unwrap();
+        assert!(
+            !doc.smoke,
+            "committed baseline must be a full run, not smoke"
+        );
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! root, so the perf trajectory is trackable across commits.
 //!
 //! ```text
-//! cargo run --release -p mogul-bench --bin perf_baseline            # full run, writes BENCH_query.json
-//! cargo run --release -p mogul-bench --bin perf_baseline -- --smoke # tiny sizes, writes target/BENCH_query.smoke.json
+//! cargo run --release -p mogul-bench --bin perf_baseline                   # full run, writes BENCH_query.json
+//! cargo run --release -p mogul-bench --bin perf_baseline -- --smoke       # tiny sizes, writes target/BENCH_query.smoke.json
+//! cargo run --release -p mogul-bench --bin perf_baseline -- --validate    # check the committed BENCH_query.json, run nothing
 //! ```
 //!
 //! Schema (one trajectory point per run):
@@ -33,7 +34,8 @@
 //! See `docs/PERFORMANCE.md` for how to read and refresh the file.
 
 use mogul_bench::baseline::{
-    merge_rows, parse_scenarios, percentile_us, render_json, validate_json, ScenarioRow,
+    merge_rows, parse_scenarios, percentile_us, render_json, validate_document, validate_json,
+    ScenarioRow,
 };
 use mogul_core::persist;
 use mogul_core::update::{IndexBuilder, IndexDelta, RebuildPolicy};
@@ -54,6 +56,89 @@ use std::time::Instant;
 
 /// Batch size of the batched scenarios (the acceptance gate measures ≥ 32).
 const BATCH: usize = 32;
+
+/// Every row a **full** trajectory point must carry: the rows this binary
+/// writes plus the `net_*` rows `load_gen` merges in. `--validate` (and CI)
+/// enforces this list against the committed `BENCH_query.json`, so a schema
+/// or scenario rename cannot silently drop a row from the trajectory.
+const REQUIRED_FULL_ROWS: &[&str] = &[
+    "search_scalar",
+    "search_batch32",
+    "oos_scalar",
+    "oos_batch32",
+    "serve_scalar_b32",
+    "serve_panel_b32",
+    "serve_mixed_scalar_b32",
+    "serve_mixed_panel_b32",
+    "kernel_unit_lower_b8",
+    "kernel_unit_upper_b8",
+    "kernel_scale_diag",
+    "precompute_serial",
+    "precompute_parallel",
+    "update_insert",
+    "cold_start",
+    "cold_start_precompute",
+    "cold_start_replay",
+    "shard_precompute",
+    "shard_precompute_serial",
+    "shard_query_s1",
+    "shard_query_s4",
+    "failover_p50",
+    "degraded_query",
+    "net_closed_c1",
+    "net_closed_c2",
+    "net_closed_c4",
+    "net_open_half",
+    "net_open_10x",
+];
+
+/// `--validate [path]`: parse and schema-check an existing baseline file
+/// (default: the committed `BENCH_query.json`) without running anything.
+/// Exits nonzero on any violation; CI runs this against the committed file.
+fn run_validate(path_arg: Option<&str>) -> ! {
+    let default = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_query.json");
+    let path = path_arg.map(std::path::PathBuf::from).unwrap_or(default);
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!(
+                "perf_baseline --validate: cannot read {}: {err}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    match validate_document(&json, REQUIRED_FULL_ROWS) {
+        Ok(doc) if doc.smoke => {
+            eprintln!(
+                "perf_baseline --validate: {} is a smoke run — the committed baseline \
+                 must come from a full run",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        Ok(doc) => {
+            eprintln!(
+                "perf_baseline --validate: {} ok ({} scenarios, rev {}, {})",
+                path.display(),
+                doc.rows.len(),
+                doc.git_rev,
+                doc.date
+            );
+            std::process::exit(0);
+        }
+        Err(err) => {
+            eprintln!(
+                "perf_baseline --validate: {} invalid: {err}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}
 
 /// When set, this binary runs as one replica of the failover scenario
 /// instead of benchmarking: serve a small sharded index, publish the bound
@@ -177,7 +262,11 @@ fn main() {
         run_replica_child(std::path::PathBuf::from(addr_file));
         return;
     }
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        run_validate(args.get(i + 1).map(String::as_str));
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
     // Fixed sizes: large enough that the full run reflects serving reality,
     // small enough that the smoke run finishes in CI seconds.
     let (n, dim, topics, rounds) = if smoke {
@@ -352,6 +441,116 @@ fn main() {
         });
     }
 
+    // -- lane kernels + wave-parallel precompute ---------------------------
+    // `kernel_*` rows time the multi-RHS sweeps behind every panel solve in
+    // isolation, under whatever kernel `active_kernel()` dispatches to —
+    // scalar by default, AVX2 under `--features simd` on a capable CPU — so
+    // the trajectory shows the kernel engine's effect without serving noise.
+    // `precompute_{serial,parallel}` time the complete LDL^T factorization
+    // of the same matrix with the wave-parallel knob off and on. The matrix
+    // is many small rings with sparse chords: nnz/row like the `I - alpha*S`
+    // systems the index factorizes, with a shallow elimination tree so the
+    // waves are wide enough to engage the parallel path.
+    {
+        let ring_len = 5usize;
+        let rings = n / ring_len;
+        let kn = rings * ring_len;
+        let mut coo = mogul_sparse::CooMatrix::new(kn, kn);
+        let mut degree = vec![0.0f64; kn];
+        let push_edge =
+            |coo: &mut mogul_sparse::CooMatrix, degree: &mut Vec<f64>, a: usize, b: usize| {
+                coo.push_symmetric(a, b, -0.2).expect("bench edge");
+                degree[a] += 0.2;
+                degree[b] += 0.2;
+            };
+        for r in 0..rings {
+            let base = r * ring_len;
+            for i in 0..ring_len {
+                push_edge(&mut coo, &mut degree, base + i, base + (i + 1) % ring_len);
+            }
+            if r + 1 < rings && r % 7 == 0 {
+                push_edge(&mut coo, &mut degree, base, base + ring_len);
+            }
+        }
+        for (i, &d) in degree.iter().enumerate() {
+            coo.push(i, i, d + 1.0).expect("bench diagonal");
+        }
+        let matrix = coo.to_csr();
+
+        let serial_start = Instant::now();
+        let serial = mogul_sparse::complete_ldl_threaded(&matrix, 1).expect("serial ldl");
+        let serial_secs = serial_start.elapsed().as_secs_f64();
+        let parallel_start = Instant::now();
+        let parallel = mogul_sparse::complete_ldl_threaded(&matrix, 0).expect("parallel ldl");
+        let parallel_secs = parallel_start.elapsed().as_secs_f64();
+        assert_eq!(
+            serial.factors.d, parallel.factors.d,
+            "wave-parallel factorization diverged from serial"
+        );
+        results.push(ScenarioResult {
+            name: "precompute_serial",
+            latencies: vec![serial_secs],
+            queries_per_iter: 1,
+        });
+        results.push(ScenarioResult {
+            name: "precompute_parallel",
+            latencies: vec![parallel_secs],
+            queries_per_iter: 1,
+        });
+        eprintln!(
+            "  wave-parallel ldl: {:.2}x vs serial ({} cores, kernel {:?})",
+            serial_secs / parallel_secs.max(1e-12),
+            mogul_sparse::effective_threads(0),
+            mogul_sparse::kernel::active_kernel(),
+        );
+
+        let factors = &serial.factors;
+        let kind = mogul_sparse::kernel::active_kernel();
+        let width = 8usize;
+        let b: Vec<f64> = (0..kn * width)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let mut x = Vec::new();
+        use mogul_sparse::triangular::{
+            scale_diag_multi_into_with, solve_unit_lower_multi_into_with,
+            solve_unit_upper_multi_into_with,
+        };
+        solve_unit_lower_multi_into_with(kind, &factors.l, &b, width, &mut x).expect("warm lower");
+        let (latencies, per_iter) = time_rounds(rounds * 8, width, || {
+            solve_unit_lower_multi_into_with(kind, &factors.l, &b, width, &mut x)
+                .expect("kernel lower");
+        });
+        results.push(ScenarioResult {
+            name: "kernel_unit_lower_b8",
+            latencies,
+            queries_per_iter: per_iter,
+        });
+        let (latencies, per_iter) = time_rounds(rounds * 8, width, || {
+            solve_unit_upper_multi_into_with(kind, &factors.u, &b, width, &mut x)
+                .expect("kernel upper");
+        });
+        results.push(ScenarioResult {
+            name: "kernel_unit_upper_b8",
+            latencies,
+            queries_per_iter: per_iter,
+        });
+        // The panel is refilled every iteration: repeated in-place scaling
+        // would drift the values toward denormals and poison the timings.
+        let mut panel = b.clone();
+        let (latencies, per_iter) = time_rounds(rounds * 8, width, || {
+            panel.copy_from_slice(&b);
+            scale_diag_multi_into_with(kind, &factors.d, width, &mut panel).expect("kernel scale");
+        });
+        results.push(ScenarioResult {
+            name: "kernel_scale_diag",
+            latencies,
+            queries_per_iter: per_iter,
+        });
+    }
+
     // -- incremental updates: apply latency --------------------------------
     {
         let m = if smoke { 600 } else { 2_000 };
@@ -484,7 +683,7 @@ fn main() {
 
         shard_ratio = mono_precompute_secs / parallel_secs.max(1e-12);
         let parallel_ratio = serial_secs / parallel_secs.max(1e-12);
-        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let cores = mogul_sparse::effective_threads(0);
         eprintln!(
             "  sharded precompute: {shard_ratio:.2}x vs monolithic, parallel {parallel_ratio:.2}x \
              vs serial ({cores} cores; s1 build {s1_secs:.2}s)"
@@ -761,14 +960,13 @@ fn main() {
     let json = render_json(&merged, smoke);
     validate_json(&json).expect("perf_baseline emitted invalid JSON");
     std::fs::write(&path, &json).expect("write baseline file");
-    // Round-trip what actually landed on disk.
+    // Round-trip what actually landed on disk through the full schema
+    // validator. Required-row coverage is only enforced for the committed
+    // full-run file (via `--validate` / CI): a from-scratch full run is
+    // allowed to lack the `net_*` rows until `load_gen` merges them in.
     let reread = std::fs::read_to_string(&path).expect("re-read baseline file");
-    validate_json(&reread).expect("baseline file on disk is invalid JSON");
-    assert!(
-        !parse_scenarios(&reread)
-            .expect("baseline file must parse")
-            .is_empty(),
-        "baseline file lost its scenario rows"
-    );
+    let doc = mogul_bench::baseline::validate_document(&reread, &[])
+        .expect("baseline file on disk violates the schema");
+    assert!(!doc.rows.is_empty(), "baseline file lost its scenario rows");
     eprintln!("wrote {}", path.display());
 }

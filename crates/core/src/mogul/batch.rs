@@ -39,7 +39,10 @@ use crate::mogul::search::{HeapEntry, SearchMode, SearchStats, TopKCollector};
 use crate::ranking::{check_k, check_query, TopKResult};
 use crate::Result;
 use mogul_graph::ordering::ClusterRange;
-use mogul_sparse::MultiSolveWorkspace;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use mogul_sparse::kernel::Avx2Kernel;
+use mogul_sparse::kernel::{LaneKernel, ScalarKernel};
+use mogul_sparse::{CsrMatrix, MultiSolveWorkspace};
 
 /// Panel width the batched engine blocks queries into.
 ///
@@ -300,10 +303,19 @@ impl MogulIndex {
     ) -> Result<()> {
         let n = self.num_nodes();
         if width == 0 || rhs.len() != n * width {
+            // The payload carries the *requested* shape: `width` verbatim
+            // (even when 0) on the left, and the supplied panel re-expressed
+            // against that width on the right — as a raw single column when
+            // the length does not divide evenly, never rounded.
+            let right = if width > 0 && rhs.len().is_multiple_of(width) {
+                (rhs.len() / width, width)
+            } else {
+                (rhs.len(), 1)
+            };
             return Err(crate::CoreError::DimensionMismatch {
                 op: "ranking system batch solve",
-                left: (n, width.max(1)),
-                right: (rhs.len() / width.max(1), width),
+                left: (n, width),
+                right,
             });
         }
         // Permute the right-hand sides: Q'[P(i)] = rhs[i], lane-wise.
@@ -466,29 +478,37 @@ impl MogulIndex {
         self.forward_rows_full(border, ws, width);
     }
 
-    /// One cluster range of the forward recurrence at full panel width.
+    /// One cluster range of the forward recurrence at full panel width,
+    /// dispatched to the active lane kernel (scalar, or AVX2 under the
+    /// `simd` feature when the CPU supports it — bit-identical either way,
+    /// see `mogul_sparse::kernel`).
     fn forward_rows_full(&self, range: ClusterRange, ws: &mut BatchWorkspace, width: usize) {
-        let d = &self.factors.d;
-        let mut acc = [0.0f64; PANEL_WIDTH];
-        let acc = &mut acc[..width];
-        for i in range.indices() {
-            acc.copy_from_slice(&ws.q_panel[i * width..(i + 1) * width]);
-            let (cols, vals) = self.factors.l.row(i);
-            for (&j, &v) in cols.iter().zip(vals.iter()) {
-                if j < i {
-                    let vd = v * d[j];
-                    let row = &ws.y_panel[j * width..(j + 1) * width];
-                    for (a, &y) in acc.iter_mut().zip(row.iter()) {
-                        *a -= vd * y;
-                    }
-                }
-            }
-            let di = d[i];
-            let row = &mut ws.y_panel[i * width..(i + 1) * width];
-            for (y, &a) in row.iter_mut().zip(acc.iter()) {
-                *y = a / di;
-            }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if let Some(kernel) = avx2_if_active() {
+            // SAFETY: `try_new` inside `avx2_if_active` proved AVX2 is
+            // available on this CPU.
+            unsafe {
+                avx2_shells::forward(
+                    kernel,
+                    &self.factors.l,
+                    &self.factors.d,
+                    range,
+                    &ws.q_panel,
+                    &mut ws.y_panel,
+                    width,
+                )
+            };
+            return;
         }
+        forward_range_sweep(
+            ScalarKernel,
+            &self.factors.l,
+            &self.factors.d,
+            range,
+            &ws.q_panel,
+            &mut ws.y_panel,
+            width,
+        );
     }
 
     /// One cluster range of the forward recurrence for a masked subset of
@@ -529,23 +549,32 @@ impl MogulIndex {
     }
 
     /// Back substitution `U X' = Y` restricted to one cluster range, for
-    /// every lane of the panel.
+    /// every lane of the panel, dispatched to the active lane kernel.
     fn back_panel_full(&self, range: ClusterRange, ws: &mut BatchWorkspace, width: usize) {
-        let mut acc = [0.0f64; PANEL_WIDTH];
-        let acc = &mut acc[..width];
-        for i in range.indices().rev() {
-            acc.copy_from_slice(&ws.y_panel[i * width..(i + 1) * width]);
-            let (cols, vals) = self.factors.u.row(i);
-            for (&j, &v) in cols.iter().zip(vals.iter()) {
-                if j > i {
-                    let row = &ws.x_panel[j * width..(j + 1) * width];
-                    for (a, &x) in acc.iter_mut().zip(row.iter()) {
-                        *a -= v * x;
-                    }
-                }
-            }
-            ws.x_panel[i * width..(i + 1) * width].copy_from_slice(acc);
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if let Some(kernel) = avx2_if_active() {
+            // SAFETY: `try_new` inside `avx2_if_active` proved AVX2 is
+            // available on this CPU.
+            unsafe {
+                avx2_shells::back(
+                    kernel,
+                    &self.factors.u,
+                    range,
+                    &ws.y_panel,
+                    &mut ws.x_panel,
+                    width,
+                )
+            };
+            return;
         }
+        back_range_sweep(
+            ScalarKernel,
+            &self.factors.u,
+            range,
+            &ws.y_panel,
+            &mut ws.x_panel,
+            width,
+        );
     }
 
     /// Back substitution restricted to one cluster range for a masked subset
@@ -794,6 +823,114 @@ impl MogulIndex {
         }
         ws.cleanup_panels(width);
         Ok(())
+    }
+}
+
+/// The forward-recurrence sweep body, generic over the lane kernel. The
+/// masked adaptive sweeps route through this too: a mostly-active mask
+/// delegates to the full-width sweep (over-computing inactive lanes is
+/// provably harmless, see [`MogulIndex`'s masked kernels]), while sparse
+/// masks run per-lane strided scalar recurrences where SIMD has nothing to
+/// vectorize.
+///
+/// `#[inline(always)]` so that instantiating this inside a
+/// `#[target_feature(enable = "avx2")]` shell inlines the kernel's
+/// intrinsics into the whole CSR traversal — one dispatch per cluster range,
+/// not one per node row.
+#[inline(always)]
+fn forward_range_sweep<K: LaneKernel>(
+    kernel: K,
+    l: &CsrMatrix,
+    d: &[f64],
+    range: ClusterRange,
+    q_panel: &[f64],
+    y_panel: &mut [f64],
+    width: usize,
+) {
+    let mut acc = [0.0f64; PANEL_WIDTH];
+    let acc = &mut acc[..width];
+    for i in range.indices() {
+        acc.copy_from_slice(&q_panel[i * width..(i + 1) * width]);
+        let (cols, vals) = l.row(i);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j < i {
+                let vd = v * d[j];
+                kernel.axpy_neg(acc, &y_panel[j * width..(j + 1) * width], vd);
+            }
+        }
+        kernel.div_store(&mut y_panel[i * width..(i + 1) * width], acc, d[i]);
+    }
+}
+
+/// The back-substitution sweep body, generic over the lane kernel (see
+/// [`forward_range_sweep`] for the dispatch and inlining notes).
+#[inline(always)]
+fn back_range_sweep<K: LaneKernel>(
+    kernel: K,
+    u: &CsrMatrix,
+    range: ClusterRange,
+    y_panel: &[f64],
+    x_panel: &mut [f64],
+    width: usize,
+) {
+    let mut acc = [0.0f64; PANEL_WIDTH];
+    let acc = &mut acc[..width];
+    for i in range.indices().rev() {
+        acc.copy_from_slice(&y_panel[i * width..(i + 1) * width]);
+        let (cols, vals) = u.row(i);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j > i {
+                kernel.axpy_neg(acc, &x_panel[j * width..(j + 1) * width], v);
+            }
+        }
+        x_panel[i * width..(i + 1) * width].copy_from_slice(acc);
+    }
+}
+
+/// The AVX2 kernel iff the dispatcher currently selects the SIMD path.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn avx2_if_active() -> Option<Avx2Kernel> {
+    match mogul_sparse::kernel::active_kernel() {
+        mogul_sparse::kernel::KernelKind::Simd => Avx2Kernel::try_new(),
+        mogul_sparse::kernel::KernelKind::Scalar => None,
+    }
+}
+
+/// `#[target_feature(enable = "avx2")]` instantiations of the generic sweep
+/// bodies: the attribute lets the compiler emit AVX2 throughout the inlined
+/// traversal instead of fencing each kernel call behind a feature check.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2_shells {
+    use super::*;
+
+    /// # Safety
+    /// The caller must have verified AVX2 support (holding an [`Avx2Kernel`]
+    /// is that proof).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn forward(
+        kernel: Avx2Kernel,
+        l: &CsrMatrix,
+        d: &[f64],
+        range: ClusterRange,
+        q_panel: &[f64],
+        y_panel: &mut [f64],
+        width: usize,
+    ) {
+        forward_range_sweep(kernel, l, d, range, q_panel, y_panel, width)
+    }
+
+    /// # Safety
+    /// As in [`forward`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn back(
+        kernel: Avx2Kernel,
+        u: &CsrMatrix,
+        range: ClusterRange,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        width: usize,
+    ) {
+        back_range_sweep(kernel, u, range, y_panel, x_panel, width)
     }
 }
 

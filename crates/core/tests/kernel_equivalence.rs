@@ -1,0 +1,139 @@
+//! SIMD-vs-scalar bit-identity at the search level.
+//!
+//! The panel engine dispatches its sweeps through the lane-kernel trait of
+//! `mogul_sparse::kernel`; this binary pins the end-to-end contract — every
+//! batched result (scores, rankings, `SearchStats` work counters, pruning
+//! decisions) is bit-identical under the forced-scalar and forced-SIMD
+//! kernels, across panel widths, search modes and the masked shrinking-width
+//! transitions of pruned panels. Without `--features simd` the SIMD request
+//! falls back to scalar and the comparisons hold trivially; the CI feature
+//! matrix runs both configurations.
+//!
+//! This lives in its own test binary because `set_kernel_override` is
+//! process-wide: no other test shares the process, so forcing a kernel here
+//! cannot race another test's dispatch.
+
+use mogul_core::{BatchWorkspace, CoreError, MogulConfig, MogulIndex, SearchMode, PANEL_WIDTH};
+use mogul_data::coil::{coil_like, CoilLikeConfig};
+use mogul_graph::knn::{knn_graph, KnnConfig};
+use mogul_sparse::{set_kernel_override, KernelKind};
+
+fn build_indices() -> (MogulIndex, MogulIndex) {
+    let data = coil_like(&CoilLikeConfig {
+        num_objects: 8,
+        poses_per_object: 18,
+        dim: 12,
+        noise: 0.02,
+        ..Default::default()
+    })
+    .unwrap();
+    let graph = knn_graph(data.features(), KnnConfig::with_k(5)).unwrap();
+    let approx = MogulIndex::build(&graph, MogulConfig::default()).unwrap();
+    let exact = MogulIndex::build(&graph, MogulConfig::exact()).unwrap();
+    (approx, exact)
+}
+
+/// Run `f` once with each kernel forced, clearing the override afterwards,
+/// and return both results.
+fn under_both_kernels<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    set_kernel_override(Some(KernelKind::Scalar));
+    let scalar = f();
+    set_kernel_override(Some(KernelKind::Simd));
+    let simd = f();
+    set_kernel_override(None);
+    (scalar, simd)
+}
+
+#[test]
+fn batched_searches_are_bit_identical_under_both_kernels() {
+    let (approx, exact) = build_indices();
+    let mut ws = BatchWorkspace::new();
+    for (label, index) in [("incomplete", &approx), ("exact", &exact)] {
+        let n = index.num_nodes();
+        // Widths 1..=PANEL_WIDTH cover every remainder of the 4-wide AVX2
+        // chunking; the larger batch exercises several panels plus a ragged
+        // tail. Pruned mode drives the masked shrinking-width transitions.
+        for size in [1usize, 2, 3, 4, 5, 6, 7, PANEL_WIDTH, 3 * PANEL_WIDTH + 5] {
+            let queries: Vec<usize> = (0..size).map(|i| (i * 37 + size) % n).collect();
+            for mode in [
+                SearchMode::Pruned,
+                SearchMode::NoPruning,
+                SearchMode::FullSubstitution,
+            ] {
+                let (scalar, simd) = under_both_kernels(|| {
+                    index.search_batch_in(&mut ws, &queries, 10, mode).unwrap()
+                });
+                assert_eq!(scalar, simd, "{label}: size {size} mode {mode:?}");
+            }
+        }
+        // Pruning must actually fire somewhere for the masked transitions to
+        // be covered (not just full-width sweeps).
+        let all: Vec<usize> = (0..n).collect();
+        set_kernel_override(Some(KernelKind::Simd));
+        let results = index
+            .search_batch_in(&mut ws, &all, 10, SearchMode::Pruned)
+            .unwrap();
+        set_kernel_override(None);
+        assert!(
+            results.iter().any(|(_, s)| s.clusters_pruned > 0),
+            "{label}: pruned mode never pruned — masked path not exercised"
+        );
+    }
+}
+
+#[test]
+fn score_vectors_and_panel_solves_match_under_both_kernels() {
+    let (approx, exact) = build_indices();
+    let mut ws = BatchWorkspace::new();
+    for index in [&approx, &exact] {
+        let n = index.num_nodes();
+        let queries: Vec<usize> = (0..(PANEL_WIDTH + 3)).map(|i| (i * 13) % n).collect();
+        let (scalar, simd) =
+            under_both_kernels(|| index.all_scores_batch_in(&mut ws, &queries).unwrap());
+        assert_eq!(scalar, simd);
+
+        let width = 5usize;
+        let rhs: Vec<f64> = (0..n * width)
+            .map(|i| ((i * 29 + 7) % 23) as f64 / 23.0 - 0.5)
+            .collect();
+        let (scalar, simd) = under_both_kernels(|| {
+            let mut out = Vec::new();
+            index
+                .solve_ranking_system_batch_in(&mut ws, &rhs, width, &mut out)
+                .unwrap();
+            out
+        });
+        assert_eq!(scalar, simd);
+    }
+}
+
+#[test]
+fn batch_solve_mismatch_payload_carries_requested_shape() {
+    let (approx, _) = build_indices();
+    let n = approx.num_nodes();
+    let mut ws = BatchWorkspace::new();
+    let mut out = Vec::new();
+    // width == 0: requested width reported verbatim, panel as one column —
+    // not the `width.max(1)` fabrication the payload used to carry.
+    let err = approx
+        .solve_ranking_system_batch_in(&mut ws, &[1.0; 4], 0, &mut out)
+        .unwrap_err();
+    match err {
+        CoreError::DimensionMismatch { left, right, .. } => {
+            assert_eq!(left, (n, 0));
+            assert_eq!(right, (4, 1));
+        }
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+    // Ragged panel: reported verbatim as a column, never rounded.
+    let err = approx
+        .solve_ranking_system_batch_in(&mut ws, &vec![1.0; 2 * n + 1], 2, &mut out)
+        .unwrap_err();
+    match err {
+        CoreError::DimensionMismatch { left, right, .. } => {
+            assert_eq!(left, (n, 2));
+            assert_eq!(right, (2 * n + 1, 1));
+        }
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+}

@@ -7,7 +7,11 @@
 
 use crate::clustering::labels::Clustering;
 use crate::{GraphError, Result};
+use mogul_sparse::effective_threads;
 use mogul_sparse::vector::squared_euclidean_unchecked;
+
+/// Smallest point count worth spawning assignment workers for.
+const PAR_MIN_POINTS: usize = 1024;
 
 /// Configuration for [`kmeans`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,11 +124,83 @@ fn init_centroids(points: &[Vec<f64>], k: usize, rng: &mut XorShift64) -> Vec<Ve
     centroids
 }
 
+/// Assign `labels[i]`/`dists[i]` for the contiguous point block starting at
+/// `start`: nearest centroid and its squared distance. This is the per-point
+/// independent half of a Lloyd iteration, shared by the serial and threaded
+/// drivers.
+fn assign_block(
+    points: &[Vec<f64>],
+    centroids: &[Vec<f64>],
+    start: usize,
+    labels: &mut [usize],
+    dists: &mut [f64],
+) {
+    for (offset, (label, dist)) in labels.iter_mut().zip(dists.iter_mut()).enumerate() {
+        let p = &points[start + offset];
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = squared_euclidean_unchecked(p, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *label = best;
+        *dist = best_d;
+    }
+}
+
+/// The assignment step over all points, fanned out over `workers` scoped
+/// threads on disjoint chunks. Each point's nearest-centroid computation is
+/// independent and lands in its own slot, so the parallel split is
+/// bit-identical to the serial sweep by construction.
+fn assign_all(
+    points: &[Vec<f64>],
+    centroids: &[Vec<f64>],
+    labels: &mut [usize],
+    dists: &mut [f64],
+    workers: usize,
+) {
+    let n = points.len();
+    if workers <= 1 || n < PAR_MIN_POINTS {
+        assign_block(points, centroids, 0, labels, dists);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (idx, (lbl, dst)) in labels
+            .chunks_mut(chunk)
+            .zip(dists.chunks_mut(chunk))
+            .enumerate()
+        {
+            scope.spawn(move || assign_block(points, centroids, idx * chunk, lbl, dst));
+        }
+    });
+}
+
 /// Run Lloyd's k-means on a set of points.
 ///
 /// Empty clusters are re-seeded with the point farthest from its centroid so
-/// the requested `k` is always realized (as long as `k ≤ n`).
+/// the requested `k` is always realized (as long as `k ≤ n`). Equivalent to
+/// [`kmeans_threaded`] with `threads = 0` (one assignment worker per core).
 pub fn kmeans(points: &[Vec<f64>], config: &KmeansConfig) -> Result<KmeansResult> {
+    kmeans_threaded(points, config, 0)
+}
+
+/// [`kmeans`] with an explicit worker count for the assignment step
+/// (`0` = one per core, resolved through
+/// [`mogul_sparse::effective_threads`]).
+///
+/// Only the per-point nearest-centroid assignment is parallel; the centroid
+/// sums, empty-cluster re-seeding and inertia fold stay serial in point
+/// order, so the result is **bit-identical** for every worker count (the
+/// determinism suite pins `threads = 1` against `threads = 8` exactly).
+pub fn kmeans_threaded(
+    points: &[Vec<f64>],
+    config: &KmeansConfig,
+    threads: usize,
+) -> Result<KmeansResult> {
     if points.is_empty() {
         return Err(GraphError::InvalidInput(
             "k-means requires at least one point".into(),
@@ -155,26 +231,18 @@ pub fn kmeans(points: &[Vec<f64>], config: &KmeansConfig) -> Result<KmeansResult
     }
     let k = config.k.min(n);
 
+    let workers = effective_threads(threads).min(n.max(1));
+
     let mut rng = XorShift64::new(config.seed);
     let mut centroids = init_centroids(points, k, &mut rng);
     let mut labels = vec![0usize; n];
+    let mut dists = vec![0.0f64; n];
     let mut iterations = 0usize;
 
     for iter in 0..config.max_iter.max(1) {
         iterations = iter + 1;
-        // Assignment step.
-        for (i, p) in points.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = squared_euclidean_unchecked(p, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            labels[i] = best;
-        }
+        // Assignment step (the parallel half of the iteration).
+        assign_all(points, &centroids, &mut labels, &mut dists, workers);
         // Update step.
         let mut sums = vec![vec![0.0; dim]; k];
         let mut counts = vec![0usize; k];
@@ -212,20 +280,12 @@ pub fn kmeans(points: &[Vec<f64>], config: &KmeansConfig) -> Result<KmeansResult
         }
     }
 
-    // Final assignment and inertia.
+    // Final assignment; the inertia fold stays serial in point order so the
+    // f64 sum is independent of the worker count.
+    assign_all(points, &centroids, &mut labels, &mut dists, workers);
     let mut inertia = 0.0;
-    for (i, p) in points.iter().enumerate() {
-        let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (c, centroid) in centroids.iter().enumerate() {
-            let d = squared_euclidean_unchecked(p, centroid);
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
-        labels[i] = best;
-        inertia += best_d;
+    for &d in &dists {
+        inertia += d;
     }
 
     Ok(KmeansResult {
@@ -308,6 +368,33 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn worker_count_never_changes_a_bit() {
+        // Large enough to cross PAR_MIN_POINTS so the threaded arm really
+        // fans out; the serial run must match it bit for bit (labels,
+        // centroids and the inertia fold).
+        let mut rng = XorShift64::new(7);
+        let points: Vec<Vec<f64>> = (0..1200)
+            .map(|i| {
+                let cx = (i % 5) as f64 * 8.0;
+                vec![cx + rng.next_f64(), cx - rng.next_f64(), rng.next_f64()]
+            })
+            .collect();
+        let config = KmeansConfig::with_k(16);
+        let serial = kmeans_threaded(&points, &config, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel = kmeans_threaded(&points, &config, threads).unwrap();
+            assert_eq!(serial.clustering, parallel.clustering, "{threads} threads");
+            assert_eq!(serial.centroids, parallel.centroids, "{threads} threads");
+            assert_eq!(
+                serial.inertia.to_bits(),
+                parallel.inertia.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(serial.iterations, parallel.iterations);
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@
 use crate::clustering::labels::Clustering;
 use crate::graph::Graph;
 
+/// Smallest level size worth fanning the degree precomputation out for.
+const PAR_MIN_NODES: usize = 1024;
+
 /// Configuration of the modularity clustering.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModularityConfig {
@@ -94,13 +97,42 @@ impl LevelGraph {
         self.adj[u].iter().map(|&(_, w)| w).sum::<f64>() + self.self_loops[u]
     }
 
-    /// One full Louvain local-moving pass. Returns the per-node community
-    /// assignment and the total modularity gain achieved.
-    fn local_moving(&self, config: &ModularityConfig) -> (Vec<usize>, f64) {
+    /// All weighted degrees, fanned out over `workers` scoped threads on
+    /// disjoint chunks. Each node's degree is a sum over its own adjacency
+    /// list written to its own slot, so the split is bit-identical to the
+    /// serial sweep for every worker count.
+    fn weighted_degrees(&self, workers: usize) -> Vec<f64> {
+        let n = self.num_nodes();
+        let mut degrees = vec![0.0f64; n];
+        if workers <= 1 || n < PAR_MIN_NODES {
+            for (u, d) in degrees.iter_mut().enumerate() {
+                *d = self.weighted_degree(u);
+            }
+            return degrees;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (idx, slot) in degrees.chunks_mut(chunk).enumerate() {
+                let start = idx * chunk;
+                scope.spawn(move || {
+                    for (offset, d) in slot.iter_mut().enumerate() {
+                        *d = self.weighted_degree(start + offset);
+                    }
+                });
+            }
+        });
+        degrees
+    }
+
+    /// One full Louvain local-moving pass. The moving itself is inherently
+    /// sequential — each move reads the community state left by every
+    /// earlier move, which is what makes Louvain converge — so only the
+    /// per-node degree precomputation fans out across workers.
+    fn local_moving(&self, config: &ModularityConfig, workers: usize) -> (Vec<usize>, f64) {
         let n = self.num_nodes();
         let two_m = 2.0 * self.total_weight;
         let mut community: Vec<usize> = (0..n).collect();
-        let degrees: Vec<f64> = (0..n).map(|u| self.weighted_degree(u)).collect();
+        let degrees = self.weighted_degrees(workers);
         let mut sigma_tot: Vec<f64> = degrees.clone();
         let mut total_gain = 0.0;
         if two_m <= 0.0 {
@@ -109,6 +141,7 @@ impl LevelGraph {
 
         let mut neighbor_weights: std::collections::HashMap<usize, f64> =
             std::collections::HashMap::new();
+        let mut candidates: Vec<(usize, f64)> = Vec::new();
         for _ in 0..config.max_sweeps {
             let mut moved = false;
             for u in 0..n {
@@ -130,10 +163,17 @@ impl LevelGraph {
                 // The tie-breaking epsilon is relative to the node's weighted
                 // degree so that graphs with very small absolute edge weights
                 // (e.g. heat-kernel weights of far-apart points) still move.
+                // Candidates are scanned in ascending community order: the
+                // HashMap's iteration order is randomized per instance, and
+                // letting it pick among near-ties would make the clustering
+                // differ from run to run (and process to process).
                 let epsilon = 1e-12 * degrees[u].max(f64::MIN_POSITIVE);
                 let mut best_community = cu;
                 let mut best_gain = w_to_own - sigma_tot[cu] * degrees[u] / two_m;
-                for (&c, &w_uc) in neighbor_weights.iter() {
+                candidates.clear();
+                candidates.extend(neighbor_weights.iter().map(|(&c, &w)| (c, w)));
+                candidates.sort_unstable_by_key(|&(c, _)| c);
+                for &(c, w_uc) in &candidates {
                     if c == cu {
                         continue;
                     }
@@ -202,7 +242,24 @@ impl LevelGraph {
 ///
 /// Returns a [`Clustering`] over the graph's nodes; the number of clusters is
 /// determined automatically (nodes of disconnected components never merge).
+/// Equivalent to [`modularity_clustering_threaded`] with `threads = 0`.
 pub fn modularity_clustering(graph: &Graph, config: &ModularityConfig) -> Clustering {
+    modularity_clustering_threaded(graph, config, 0)
+}
+
+/// [`modularity_clustering`] with an explicit worker count (`0` = one per
+/// core, resolved through
+/// [`effective_threads`](mogul_sparse::effective_threads)).
+///
+/// Louvain's local-moving sweep is inherently sequential (each move depends
+/// on all earlier moves), so only the per-level degree precomputation is
+/// parallel — results are **bit-identical** for every worker count.
+pub fn modularity_clustering_threaded(
+    graph: &Graph,
+    config: &ModularityConfig,
+    threads: usize,
+) -> Clustering {
+    let workers = mogul_sparse::effective_threads(threads);
     let n = graph.num_nodes();
     if n == 0 {
         return Clustering::from_labels(&[]);
@@ -216,7 +273,7 @@ pub fn modularity_clustering(graph: &Graph, config: &ModularityConfig) -> Cluste
     let mut level = LevelGraph::from_graph(graph);
 
     for _ in 0..config.max_levels {
-        let (community, gain) = level.local_moving(config);
+        let (community, gain) = level.local_moving(config, workers);
         let changed = community.iter().enumerate().any(|(i, &c)| c != i);
         if !changed {
             break;
@@ -278,6 +335,33 @@ mod tests {
         assert!(q_good > q_single);
         assert!(q_good > q_singles);
         assert!(q_good > 0.3, "expected strong modularity, got {q_good}");
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_clustering() {
+        // 1280 nodes (256 cliques of 5 in a ring) crosses PAR_MIN_NODES, so
+        // the threaded degree precomputation really fans out; every worker
+        // count must produce the identical clustering.
+        let clique = 5usize;
+        let groups = 256usize;
+        let n = clique * groups;
+        let mut g = Graph::empty(n);
+        for c in 0..groups {
+            let base = c * clique;
+            for i in 0..clique {
+                for j in (i + 1)..clique {
+                    g.add_edge(base + i, base + j, 1.0).unwrap();
+                }
+            }
+            let b = ((c + 1) % groups) * clique + 1;
+            g.add_edge(base, b, 0.05).unwrap();
+        }
+        let config = ModularityConfig::default();
+        let serial = modularity_clustering_threaded(&g, &config, 1);
+        for threads in [2usize, 8] {
+            let parallel = modularity_clustering_threaded(&g, &config, threads);
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
     }
 
     #[test]

@@ -176,15 +176,7 @@ pub fn exact_knn_indices(
         return Err(GraphError::InvalidInput("k must be at least 1".into()));
     }
     let k = k.min(n.saturating_sub(1));
-    let worker_count = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .max(1)
-    .min(n.max(1));
+    let worker_count = mogul_sparse::effective_threads(threads).min(n.max(1));
 
     let mut results: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     if k == 0 {

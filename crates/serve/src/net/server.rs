@@ -339,8 +339,11 @@ impl Shared {
                 conn.send(FrameKind::StatsReport, frame.request_id, &payload);
             }
             FrameKind::Drain => {
-                conn.send(FrameKind::DrainStarted, frame.request_id, &[]);
+                // Flip into draining BEFORE acking: the ack is the client's
+                // license to assume no new work is admitted, so it must not
+                // be observable while the flag is still clear.
                 shared.begin_drain();
+                conn.send(FrameKind::DrainStarted, frame.request_id, &[]);
             }
             FrameKind::Answer
             | FrameKind::StatsReport
@@ -544,7 +547,44 @@ impl NetServer {
             }
         }
 
-        // Unblock reader threads (blocked in `read_frame`) and collect them.
+        // Requests a pipelining client wrote before the drain may still sit
+        // unread in a connection's kernel buffer while its reader thread is
+        // between reads; shutting the socket down now would turn them into a
+        // silent EOF instead of the typed `Draining` answer the protocol
+        // promises. A short receive timeout lets each reader pull and shed
+        // whatever is already buffered, then exit on its own the moment its
+        // buffer runs dry (`read_frame` surfaces the timeout and the loop
+        // breaks). The clone shares the socket, so the option reaches the
+        // reader's handle too.
+        for conn in self
+            .shared
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            let writer = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = writer.set_read_timeout(Some(Duration::from_millis(20)));
+        }
+        // Readers deregister themselves from `conns` as they exit; poll for
+        // that instead of joining, which has no timeout.
+        let grace_deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < grace_deadline {
+            if self
+                .shared
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Backstop: a reader that entered its blocking read before the
+        // timeout landed never observes it — but such a read means its
+        // buffer was empty, so closing the socket under it loses nothing.
+        // This also bounds drain against a client trickling partial frames.
         for conn in self
             .shared
             .conns

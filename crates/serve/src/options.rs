@@ -9,7 +9,6 @@
 //! per-connection in-flight cap).
 
 use crate::error::{ServeError, ServeResult};
-use std::thread;
 use std::time::Duration;
 
 /// Upper bound on an explicit worker count — far above any real machine, but
@@ -129,13 +128,10 @@ impl ServeOptions {
         self.queue_deadline
     }
 
-    /// The effective worker count after auto-detection.
+    /// The effective worker count after auto-detection (the workspace-wide
+    /// policy of [`mogul_sparse::effective_threads`]).
     pub(crate) fn resolve_workers(&self) -> usize {
-        if self.workers > 0 {
-            self.workers
-        } else {
-            thread::available_parallelism().map_or(1, |p| p.get())
-        }
+        mogul_sparse::effective_threads(self.workers)
     }
 }
 
@@ -163,7 +159,8 @@ impl Default for ServeOptionsBuilder {
 
 impl ServeOptionsBuilder {
     /// Worker threads per batch dispatch / per network server. `0` (the
-    /// default) auto-detects via [`std::thread::available_parallelism`].
+    /// default) auto-detects one worker per core
+    /// (via [`mogul_sparse::effective_threads`]).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self

@@ -1,0 +1,313 @@
+//! Lane kernels: the vectorizable primitives under every panel sweep.
+//!
+//! The panel layout (`panel[node * width + lane]`, see
+//! [`MultiSolveWorkspace`](crate::MultiSolveWorkspace)) keeps the `width` lane
+//! values of a node adjacent precisely so the per-node inner loops can run as
+//! SIMD instructions. This module names those inner loops as an explicit
+//! [`LaneKernel`] trait with two implementations:
+//!
+//! * [`ScalarKernel`] — the plain `f64` loops the sweeps have always run.
+//!   Always available, always the default.
+//! * `Avx2Kernel` — AVX2 intrinsics (4 `f64` lanes per instruction),
+//!   compiled only under the `simd` cargo feature on `x86_64` and selected at
+//!   runtime only when the CPU reports AVX2 support.
+//!
+//! # Exactness contract
+//!
+//! Both kernels produce **bit-identical** results. Every primitive operates on
+//! per-lane-independent accumulator chains (`acc[lane] -= v * x[lane]`,
+//! `row[lane] /= d`): lane `b`'s value never feeds lane `b'`, so evaluating
+//! lanes in parallel performs exactly the same IEEE-754 operations in exactly
+//! the same order per lane as the scalar loop. The AVX2 implementation uses
+//! separate multiply and subtract instructions — never fused multiply-add,
+//! which would change rounding — so the SIMD fast path is a pure reordering
+//! across (independent) lanes, not a renumbering of any lane's arithmetic.
+//!
+//! # Dispatch rules
+//!
+//! [`active_kernel`] resolves once per call site in this order:
+//!
+//! 1. a process-wide override installed by [`set_kernel_override`]
+//!    (benchmarks and the bit-identity test batteries use this to pin a path);
+//! 2. [`KernelKind::Simd`] when the crate was built with `--features simd`,
+//!    the target is `x86_64` and the running CPU reports AVX2;
+//! 3. [`KernelKind::Scalar`] otherwise.
+//!
+//! Requesting [`KernelKind::Simd`] when the SIMD path is unavailable (feature
+//! off, non-x86 target, or no AVX2 at runtime) silently falls back to the
+//! scalar kernel — the request is a performance hint, never a correctness
+//! switch.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation a panel sweep should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Plain `f64` loops. Always available; the default.
+    Scalar,
+    /// The vectorized path (AVX2 on `x86_64` under `--features simd`).
+    /// Falls back to [`KernelKind::Scalar`] when unavailable.
+    Simd,
+}
+
+/// Process-wide kernel override: 0 = none, 1 = force scalar, 2 = force SIMD.
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the SIMD kernel can actually run in this process: the `simd`
+/// feature was compiled in, the target is `x86_64`, and the CPU has AVX2.
+pub fn simd_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// The kernel the panel sweeps will use right now (override, then runtime
+/// detection, then scalar — see the module docs for the full dispatch rules).
+pub fn active_kernel() -> KernelKind {
+    match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+        1 => KernelKind::Scalar,
+        2 if simd_available() => KernelKind::Simd,
+        2 => KernelKind::Scalar,
+        _ => {
+            if simd_available() {
+                KernelKind::Simd
+            } else {
+                KernelKind::Scalar
+            }
+        }
+    }
+}
+
+/// Install (or clear, with `None`) a process-wide kernel override.
+///
+/// Intended for benchmarks and for the bit-identity test batteries, which run
+/// the same workload under both kernels and compare results bit for bit.
+/// Forcing [`KernelKind::Simd`] where it is unavailable still runs scalar.
+pub fn set_kernel_override(kind: Option<KernelKind>) {
+    let code = match kind {
+        None => 0,
+        Some(KernelKind::Scalar) => 1,
+        Some(KernelKind::Simd) => 2,
+    };
+    KERNEL_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// The lane primitives every panel sweep is built from.
+///
+/// Implementations must satisfy the exactness contract in the module docs:
+/// per lane, the same IEEE-754 operations in the same order as
+/// [`ScalarKernel`]. All slices passed to a kernel have equal length (the
+/// panel width); implementations may not read or write outside them.
+pub trait LaneKernel: Copy {
+    /// `acc[b] -= v * x[b]` for every lane `b` — the elimination update of
+    /// the forward/back substitution sweeps.
+    fn axpy_neg(self, acc: &mut [f64], x: &[f64], v: f64);
+
+    /// `out[b] = acc[b] / d` for every lane `b` — the pivot division of the
+    /// non-unit triangular solves.
+    fn div_store(self, out: &mut [f64], acc: &[f64], d: f64);
+
+    /// `row[b] /= d` for every lane `b` — the in-place diagonal scaling of
+    /// `scale_diag_multi_into`.
+    fn div_assign(self, row: &mut [f64], d: f64);
+}
+
+/// The reference scalar implementation: plain `f64` loops.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl LaneKernel for ScalarKernel {
+    #[inline(always)]
+    fn axpy_neg(self, acc: &mut [f64], x: &[f64], v: f64) {
+        for (a, &xv) in acc.iter_mut().zip(x.iter()) {
+            *a -= v * xv;
+        }
+    }
+
+    #[inline(always)]
+    fn div_store(self, out: &mut [f64], acc: &[f64], d: f64) {
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = a / d;
+        }
+    }
+
+    #[inline(always)]
+    fn div_assign(self, row: &mut [f64], d: f64) {
+        for v in row.iter_mut() {
+            *v /= d;
+        }
+    }
+}
+
+/// AVX2 implementation: 4 `f64` lanes per instruction, unaligned loads and
+/// stores (panels carry no alignment guarantee), remainder lanes scalar.
+///
+/// Only constructible through [`Avx2Kernel::try_new`], which performs the
+/// runtime CPUID check — holding a value is proof the instructions can run.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2Kernel(());
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl Avx2Kernel {
+    /// The AVX2 kernel, if the running CPU supports it.
+    pub fn try_new() -> Option<Self> {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Some(Avx2Kernel(()))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl LaneKernel for Avx2Kernel {
+    #[inline(always)]
+    fn axpy_neg(self, acc: &mut [f64], x: &[f64], v: f64) {
+        use std::arch::x86_64::*;
+        let len = acc.len();
+        debug_assert_eq!(len, x.len());
+        // SAFETY: construction proved AVX2 is available; all pointer
+        // arithmetic stays inside the equal-length `acc` and `x` slices.
+        unsafe {
+            let vv = _mm256_set1_pd(v);
+            let mut i = 0usize;
+            while i + 4 <= len {
+                let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+                let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+                // mul + sub, never FMA: FMA skips the intermediate rounding
+                // step and would break bit-identity with the scalar kernel.
+                let prod = _mm256_mul_pd(vv, xv);
+                _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_sub_pd(a, prod));
+                i += 4;
+            }
+            while i < len {
+                *acc.get_unchecked_mut(i) -= v * *x.get_unchecked(i);
+                i += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn div_store(self, out: &mut [f64], acc: &[f64], d: f64) {
+        use std::arch::x86_64::*;
+        let len = out.len();
+        debug_assert_eq!(len, acc.len());
+        // SAFETY: as in `axpy_neg`.
+        unsafe {
+            let dv = _mm256_set1_pd(d);
+            let mut i = 0usize;
+            while i + 4 <= len {
+                let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+                _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_div_pd(a, dv));
+                i += 4;
+            }
+            while i < len {
+                *out.get_unchecked_mut(i) = *acc.get_unchecked(i) / d;
+                i += 1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn div_assign(self, row: &mut [f64], d: f64) {
+        use std::arch::x86_64::*;
+        let len = row.len();
+        // SAFETY: as in `axpy_neg`.
+        unsafe {
+            let dv = _mm256_set1_pd(d);
+            let mut i = 0usize;
+            while i + 4 <= len {
+                let a = _mm256_loadu_pd(row.as_ptr().add(i));
+                _mm256_storeu_pd(row.as_mut_ptr().add(i), _mm256_div_pd(a, dv));
+                i += 4;
+            }
+            while i < len {
+                let p = row.get_unchecked_mut(i);
+                *p /= d;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<K: LaneKernel>(k: K) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        // Lengths straddle the 4-lane SIMD chunking (remainders 1..3) and the
+        // values are "ragged" decimals that round at every operation.
+        let x: Vec<f64> = (0..11).map(|i| 0.1 + i as f64 * 0.3).collect();
+        let mut acc: Vec<f64> = (0..11).map(|i| 1.7 - i as f64 * 0.913).collect();
+        k.axpy_neg(&mut acc, &x, 0.37);
+        let mut out = vec![0.0; 11];
+        k.div_store(&mut out, &acc, 0.7);
+        let mut row = x.clone();
+        k.div_assign(&mut row, -3.3);
+        (acc, out, row)
+    }
+
+    #[test]
+    fn scalar_kernel_matches_reference_loops() {
+        let (acc, out, row) = exercise(ScalarKernel);
+        for i in 0..11 {
+            let x = 0.1 + i as f64 * 0.3;
+            let a = (1.7 - i as f64 * 0.913) - 0.37 * x;
+            assert_eq!(acc[i], a);
+            assert_eq!(out[i], a / 0.7);
+            assert_eq!(row[i], x / -3.3);
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_kernel_is_bit_identical_to_scalar() {
+        let Some(avx2) = Avx2Kernel::try_new() else {
+            return; // CPU without AVX2: nothing to compare.
+        };
+        // Every length 0..=19 so all remainder shapes are covered.
+        for len in 0..20usize {
+            let x: Vec<f64> = (0..len).map(|i| 0.1 + i as f64 * 0.3).collect();
+            let base: Vec<f64> = (0..len).map(|i| 1.7 - i as f64 * 0.913).collect();
+            let (mut a_s, mut a_v) = (base.clone(), base.clone());
+            ScalarKernel.axpy_neg(&mut a_s, &x, 0.37);
+            avx2.axpy_neg(&mut a_v, &x, 0.37);
+            assert_eq!(a_s, a_v, "axpy_neg len {len}");
+            let (mut o_s, mut o_v) = (vec![0.0; len], vec![0.0; len]);
+            ScalarKernel.div_store(&mut o_s, &a_s, 0.7);
+            avx2.div_store(&mut o_v, &a_v, 0.7);
+            assert_eq!(o_s, o_v, "div_store len {len}");
+            let (mut r_s, mut r_v) = (x.clone(), x.clone());
+            ScalarKernel.div_assign(&mut r_s, -3.3);
+            avx2.div_assign(&mut r_v, -3.3);
+            assert_eq!(r_s, r_v, "div_assign len {len}");
+        }
+    }
+
+    #[test]
+    fn override_controls_dispatch() {
+        set_kernel_override(Some(KernelKind::Scalar));
+        assert_eq!(active_kernel(), KernelKind::Scalar);
+        set_kernel_override(Some(KernelKind::Simd));
+        if simd_available() {
+            assert_eq!(active_kernel(), KernelKind::Simd);
+        } else {
+            assert_eq!(active_kernel(), KernelKind::Scalar);
+        }
+        set_kernel_override(None);
+        let expected = if simd_available() {
+            KernelKind::Simd
+        } else {
+            KernelKind::Scalar
+        };
+        assert_eq!(active_kernel(), expected);
+    }
+}

@@ -17,6 +17,12 @@
 //!   and as a blocked `*_multi_into` variant that solves a whole panel of
 //!   right-hand sides per traversal of the factor (see
 //!   [`MultiSolveWorkspace`]) — the substrate of the batched query engine.
+//! * [`kernel`] — the lane-kernel trait under every panel sweep: a scalar
+//!   reference implementation and a runtime-dispatched AVX2 implementation
+//!   (behind the `simd` cargo feature), bit-identical by construction.
+//! * [`parallel`] — the audited `available_parallelism` policy
+//!   ([`effective_threads`]) and the wave-scheduling machinery behind the
+//!   scoped-thread parallel factorizations.
 //! * [`ichol`] — Incomplete Cholesky `L D Lᵀ` factorization restricted to the
 //!   sparsity pattern of `W` (Equations (6) and (7)).
 //! * [`ldl`] — complete ("Modified Cholesky" in the paper's terminology)
@@ -45,8 +51,10 @@ pub mod dense;
 pub mod eigen;
 pub mod error;
 pub mod ichol;
+pub mod kernel;
 pub mod ldl;
 pub mod lowrank;
+pub mod parallel;
 pub mod permutation;
 pub mod persist;
 pub mod stats;
@@ -58,8 +66,10 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
-pub use ichol::{incomplete_ldl, LdlFactors};
-pub use ldl::{complete_ldl, CompleteLdl};
+pub use ichol::{incomplete_ldl, incomplete_ldl_threaded, LdlFactors};
+pub use kernel::{active_kernel, set_kernel_override, simd_available, KernelKind};
+pub use ldl::{complete_ldl, complete_ldl_threaded, CompleteLdl};
+pub use parallel::effective_threads;
 pub use permutation::Permutation;
 pub use triangular::{MultiSolveWorkspace, SolveWorkspace, MAX_PANEL_WIDTH};
 pub use woodbury::{CorrectionWorkspace, WoodburyCorrection};

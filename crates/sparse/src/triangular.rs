@@ -8,6 +8,9 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::{Result, SparseError};
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use crate::kernel::Avx2Kernel;
+use crate::kernel::{self, KernelKind, LaneKernel, ScalarKernel};
 
 /// Smallest pivot magnitude accepted before a solve is declared singular.
 const PIVOT_TOL: f64 = 1e-300;
@@ -261,6 +264,17 @@ impl MultiSolveWorkspace {
     }
 }
 
+/// The actual shape of a flat panel for error payloads: `rows × width` when
+/// the length divides evenly, otherwise the raw length as a single column so
+/// ragged inputs are reported verbatim instead of silently rounded.
+fn panel_shape(panel_len: usize, width: usize) -> (usize, usize) {
+    if width > 0 && panel_len.is_multiple_of(width) {
+        (panel_len / width, width)
+    } else {
+        (panel_len, 1)
+    }
+}
+
 fn check_square_and_panel(
     m: &CsrMatrix,
     panel_len: usize,
@@ -274,51 +288,89 @@ fn check_square_and_panel(
         });
     }
     if width == 0 || panel_len != m.nrows() * width {
+        // The payload carries the *requested* shape: `width` verbatim (even
+        // when 0) on the left, and the supplied panel re-expressed against
+        // that width on the right.
         return Err(SparseError::DimensionMismatch {
             op,
-            left: (m.nrows(), width.max(1)),
-            right: (panel_len / width.max(1), width),
+            left: (m.nrows(), width),
+            right: panel_shape(panel_len, width),
         });
     }
     Ok(())
 }
 
-/// Solve `L X = B` for `width` right-hand sides at once, where `L` is lower
-/// triangular with a non-zero stored diagonal.
+/// Run `solve_block` over the panel in lane blocks of at most
+/// [`MAX_PANEL_WIDTH`].
 ///
-/// `b` and `x` are panels in the [`MultiSolveWorkspace`] layout
-/// (`panel[i * width + lane]`, length `n · width`). Each lane's arithmetic
-/// matches [`solve_lower_triangular_into`] operation for operation, so lane
-/// `l` of the panel result is **bit-identical** to the scalar solve of lane
-/// `l`'s right-hand side — the panel only amortizes the traversal of `L`'s
-/// row pointers and indices across lanes.
-pub fn solve_lower_multi_into(
+/// This is the cache-blocking of the CSR substitution traversals: a sweep
+/// over a factor row reads one `width`-lane panel row per non-zero, so for
+/// wide panels each block is gathered into a contiguous `n × bw` scratch
+/// (`bw ≤ MAX_PANEL_WIDTH`, at most two cache lines per node) before the
+/// substitution runs and scattered back after. Gather/scatter only copies
+/// values — each lane's arithmetic is untouched, so bit-identity per lane is
+/// preserved. Narrow panels (`width ≤ MAX_PANEL_WIDTH`) run in place.
+fn run_lane_blocked(
+    b: &[f64],
+    width: usize,
+    x: &mut [f64],
+    mut solve_block: impl FnMut(&[f64], usize, &mut [f64]) -> Result<()>,
+) -> Result<()> {
+    if width <= MAX_PANEL_WIDTH {
+        return solve_block(b, width, x);
+    }
+    let n = b.len() / width;
+    let mut b_block = Vec::new();
+    let mut x_block = Vec::new();
+    let mut start = 0usize;
+    while start < width {
+        let bw = MAX_PANEL_WIDTH.min(width - start);
+        b_block.clear();
+        b_block.resize(n * bw, 0.0);
+        x_block.clear();
+        x_block.resize(n * bw, 0.0);
+        for i in 0..n {
+            let src = &b[i * width + start..i * width + start + bw];
+            b_block[i * bw..(i + 1) * bw].copy_from_slice(src);
+        }
+        solve_block(&b_block, bw, &mut x_block)?;
+        for i in 0..n {
+            let dst = &mut x[i * width + start..i * width + start + bw];
+            dst.copy_from_slice(&x_block[i * bw..(i + 1) * bw]);
+        }
+        start += bw;
+    }
+    Ok(())
+}
+
+// --- Kernel-generic sweep bodies -------------------------------------------
+//
+// Each sweep is written once, generic over the [`LaneKernel`] that executes
+// its per-node lane loops, and instantiated twice: with [`ScalarKernel`]
+// directly, and with [`Avx2Kernel`] inside an `#[target_feature(enable =
+// "avx2")]` shell so the whole sweep (not just the primitives) is compiled
+// for AVX2 and the intrinsics inline into the traversal. The shells are the
+// only `unsafe` entry points; the runtime CPU check in `Avx2Kernel::try_new`
+// is what discharges their safety obligation.
+
+#[inline(always)]
+fn lower_sweep<K: LaneKernel>(
+    kern: K,
     l: &CsrMatrix,
     b: &[f64],
     width: usize,
-    x: &mut Vec<f64>,
+    x: &mut [f64],
 ) -> Result<()> {
-    check_square_and_panel(l, b.len(), width, "solve_lower_multi")?;
     let n = l.nrows();
-    reset(x, n * width);
     let mut spill = [0.0f64; MAX_PANEL_WIDTH];
-    let mut heap_spill: Vec<f64> = Vec::new();
-    let acc: &mut [f64] = if width <= MAX_PANEL_WIDTH {
-        &mut spill[..width]
-    } else {
-        heap_spill.resize(width, 0.0);
-        &mut heap_spill
-    };
+    let acc = &mut spill[..width];
     for i in 0..n {
         let (cols, vals) = l.row(i);
         acc.copy_from_slice(&b[i * width..(i + 1) * width]);
         let mut diag = 0.0;
         for (&j, &v) in cols.iter().zip(vals.iter()) {
             if j < i {
-                let xr = &x[j * width..(j + 1) * width];
-                for (a, &xv) in acc.iter_mut().zip(xr.iter()) {
-                    *a -= v * xv;
-                }
+                kern.axpy_neg(acc, &x[j * width..(j + 1) * width], v);
             } else if j == i {
                 diag = v;
             }
@@ -326,12 +378,213 @@ pub fn solve_lower_multi_into(
         if diag.abs() < PIVOT_TOL {
             return Err(SparseError::SingularMatrix { pivot: i });
         }
-        let xr = &mut x[i * width..(i + 1) * width];
-        for (xv, &a) in xr.iter_mut().zip(acc.iter()) {
-            *xv = a / diag;
+        kern.div_store(&mut x[i * width..(i + 1) * width], acc, diag);
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn unit_lower_sweep<K: LaneKernel>(
+    kern: K,
+    l: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut [f64],
+) -> Result<()> {
+    let n = l.nrows();
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        let (done, rest) = x.split_at_mut(i * width);
+        let xi = &mut rest[..width];
+        xi.copy_from_slice(&b[i * width..(i + 1) * width]);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j < i {
+                kern.axpy_neg(xi, &done[j * width..(j + 1) * width], v);
+            }
         }
     }
     Ok(())
+}
+
+#[inline(always)]
+fn upper_sweep<K: LaneKernel>(
+    kern: K,
+    u: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut [f64],
+) -> Result<()> {
+    let n = u.nrows();
+    let mut spill = [0.0f64; MAX_PANEL_WIDTH];
+    let acc = &mut spill[..width];
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        acc.copy_from_slice(&b[i * width..(i + 1) * width]);
+        let mut diag = 0.0;
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j > i {
+                kern.axpy_neg(acc, &x[j * width..(j + 1) * width], v);
+            } else if j == i {
+                diag = v;
+            }
+        }
+        if diag.abs() < PIVOT_TOL {
+            return Err(SparseError::SingularMatrix { pivot: i });
+        }
+        kern.div_store(&mut x[i * width..(i + 1) * width], acc, diag);
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn unit_upper_sweep<K: LaneKernel>(
+    kern: K,
+    u: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut [f64],
+) -> Result<()> {
+    let n = u.nrows();
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        let (head, tail) = x.split_at_mut((i + 1) * width);
+        let xi = &mut head[i * width..];
+        xi.copy_from_slice(&b[i * width..(i + 1) * width]);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            if j > i {
+                kern.axpy_neg(xi, &tail[(j - i - 1) * width..(j - i) * width], v);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn scale_diag_sweep<K: LaneKernel>(
+    kern: K,
+    d: &[f64],
+    width: usize,
+    panel: &mut [f64],
+) -> Result<()> {
+    for (i, (&di, row)) in d.iter().zip(panel.chunks_exact_mut(width)).enumerate() {
+        if di.abs() < PIVOT_TOL {
+            return Err(SparseError::SingularMatrix { pivot: i });
+        }
+        kern.div_assign(row, di);
+    }
+    Ok(())
+}
+
+// --- AVX2 shells -----------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2_shells {
+    use super::*;
+
+    // SAFETY (each shell): callable only with an `Avx2Kernel`, whose
+    // construction performed the runtime AVX2 check; the attribute merely
+    // lets LLVM compile the monomorphized sweep body with AVX2 enabled.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lower(
+        k: Avx2Kernel,
+        l: &CsrMatrix,
+        b: &[f64],
+        w: usize,
+        x: &mut [f64],
+    ) -> Result<()> {
+        lower_sweep(k, l, b, w, x)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn unit_lower(
+        k: Avx2Kernel,
+        l: &CsrMatrix,
+        b: &[f64],
+        w: usize,
+        x: &mut [f64],
+    ) -> Result<()> {
+        unit_lower_sweep(k, l, b, w, x)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn upper(
+        k: Avx2Kernel,
+        u: &CsrMatrix,
+        b: &[f64],
+        w: usize,
+        x: &mut [f64],
+    ) -> Result<()> {
+        upper_sweep(k, u, b, w, x)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn unit_upper(
+        k: Avx2Kernel,
+        u: &CsrMatrix,
+        b: &[f64],
+        w: usize,
+        x: &mut [f64],
+    ) -> Result<()> {
+        unit_upper_sweep(k, u, b, w, x)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_diag(k: Avx2Kernel, d: &[f64], w: usize, panel: &mut [f64]) -> Result<()> {
+        scale_diag_sweep(k, d, w, panel)
+    }
+}
+
+/// Try to resolve `kind` to a runnable AVX2 kernel.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn avx2_for(kind: KernelKind) -> Option<Avx2Kernel> {
+    match kind {
+        KernelKind::Simd => Avx2Kernel::try_new(),
+        KernelKind::Scalar => None,
+    }
+}
+
+/// Solve `L X = B` for `width` right-hand sides at once, where `L` is lower
+/// triangular with a non-zero stored diagonal.
+///
+/// `b` and `x` are panels in the [`MultiSolveWorkspace`] layout
+/// (`panel[i * width + lane]`, length `n · width`). Each lane's arithmetic
+/// matches [`solve_lower_triangular_into`] operation for operation — under
+/// **either** kernel (see [`crate::kernel`]) — so lane `l` of the panel
+/// result is **bit-identical** to the scalar solve of lane `l`'s right-hand
+/// side; the panel only amortizes the traversal of `L`'s row pointers and
+/// indices across lanes. Dispatches on [`kernel::active_kernel`]; use
+/// [`solve_lower_multi_into_with`] to pin a kernel explicitly.
+pub fn solve_lower_multi_into(
+    l: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
+    solve_lower_multi_into_with(kernel::active_kernel(), l, b, width, x)
+}
+
+/// [`solve_lower_multi_into`] with an explicit kernel choice (an unavailable
+/// SIMD request falls back to scalar, preserving results bit for bit).
+pub fn solve_lower_multi_into_with(
+    kind: KernelKind,
+    l: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
+    check_square_and_panel(l, b.len(), width, "solve_lower_multi")?;
+    reset(x, l.nrows() * width);
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = kind;
+    run_lane_blocked(b, width, x, |bb, bw, xb| {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if let Some(k) = avx2_for(kind) {
+            // SAFETY: `avx2_for` returned a kernel, so AVX2 is available.
+            return unsafe { avx2_shells::lower(k, l, bb, bw, xb) };
+        }
+        lower_sweep(ScalarKernel, l, bb, bw, xb)
+    })
 }
 
 /// Solve `L X = B` for `width` right-hand sides where `L` is *unit* lower
@@ -343,24 +596,29 @@ pub fn solve_unit_lower_multi_into(
     width: usize,
     x: &mut Vec<f64>,
 ) -> Result<()> {
+    solve_unit_lower_multi_into_with(kernel::active_kernel(), l, b, width, x)
+}
+
+/// [`solve_unit_lower_multi_into`] with an explicit kernel choice.
+pub fn solve_unit_lower_multi_into_with(
+    kind: KernelKind,
+    l: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
     check_square_and_panel(l, b.len(), width, "solve_unit_lower_multi")?;
-    let n = l.nrows();
-    reset(x, n * width);
-    for i in 0..n {
-        let (cols, vals) = l.row(i);
-        let (done, rest) = x.split_at_mut(i * width);
-        let xi = &mut rest[..width];
-        xi.copy_from_slice(&b[i * width..(i + 1) * width]);
-        for (&j, &v) in cols.iter().zip(vals.iter()) {
-            if j < i {
-                let xj = &done[j * width..(j + 1) * width];
-                for (a, &xv) in xi.iter_mut().zip(xj.iter()) {
-                    *a -= v * xv;
-                }
-            }
+    reset(x, l.nrows() * width);
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = kind;
+    run_lane_blocked(b, width, x, |bb, bw, xb| {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if let Some(k) = avx2_for(kind) {
+            // SAFETY: `avx2_for` returned a kernel, so AVX2 is available.
+            return unsafe { avx2_shells::unit_lower(k, l, bb, bw, xb) };
         }
-    }
-    Ok(())
+        unit_lower_sweep(ScalarKernel, l, bb, bw, xb)
+    })
 }
 
 /// Solve `U X = B` for `width` right-hand sides at once, where `U` is upper
@@ -373,40 +631,29 @@ pub fn solve_upper_multi_into(
     width: usize,
     x: &mut Vec<f64>,
 ) -> Result<()> {
+    solve_upper_multi_into_with(kernel::active_kernel(), u, b, width, x)
+}
+
+/// [`solve_upper_multi_into`] with an explicit kernel choice.
+pub fn solve_upper_multi_into_with(
+    kind: KernelKind,
+    u: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
     check_square_and_panel(u, b.len(), width, "solve_upper_multi")?;
-    let n = u.nrows();
-    reset(x, n * width);
-    let mut spill = [0.0f64; MAX_PANEL_WIDTH];
-    let mut heap_spill: Vec<f64> = Vec::new();
-    let acc: &mut [f64] = if width <= MAX_PANEL_WIDTH {
-        &mut spill[..width]
-    } else {
-        heap_spill.resize(width, 0.0);
-        &mut heap_spill
-    };
-    for i in (0..n).rev() {
-        let (cols, vals) = u.row(i);
-        acc.copy_from_slice(&b[i * width..(i + 1) * width]);
-        let mut diag = 0.0;
-        for (&j, &v) in cols.iter().zip(vals.iter()) {
-            if j > i {
-                let xr = &x[j * width..(j + 1) * width];
-                for (a, &xv) in acc.iter_mut().zip(xr.iter()) {
-                    *a -= v * xv;
-                }
-            } else if j == i {
-                diag = v;
-            }
+    reset(x, u.nrows() * width);
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = kind;
+    run_lane_blocked(b, width, x, |bb, bw, xb| {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if let Some(k) = avx2_for(kind) {
+            // SAFETY: `avx2_for` returned a kernel, so AVX2 is available.
+            return unsafe { avx2_shells::upper(k, u, bb, bw, xb) };
         }
-        if diag.abs() < PIVOT_TOL {
-            return Err(SparseError::SingularMatrix { pivot: i });
-        }
-        let xr = &mut x[i * width..(i + 1) * width];
-        for (xv, &a) in xr.iter_mut().zip(acc.iter()) {
-            *xv = a / diag;
-        }
-    }
-    Ok(())
+        upper_sweep(ScalarKernel, u, bb, bw, xb)
+    })
 }
 
 /// Solve `U X = B` for `width` right-hand sides where `U` is *unit* upper
@@ -418,46 +665,63 @@ pub fn solve_unit_upper_multi_into(
     width: usize,
     x: &mut Vec<f64>,
 ) -> Result<()> {
+    solve_unit_upper_multi_into_with(kernel::active_kernel(), u, b, width, x)
+}
+
+/// [`solve_unit_upper_multi_into`] with an explicit kernel choice.
+pub fn solve_unit_upper_multi_into_with(
+    kind: KernelKind,
+    u: &CsrMatrix,
+    b: &[f64],
+    width: usize,
+    x: &mut Vec<f64>,
+) -> Result<()> {
     check_square_and_panel(u, b.len(), width, "solve_unit_upper_multi")?;
-    let n = u.nrows();
-    reset(x, n * width);
-    for i in (0..n).rev() {
-        let (cols, vals) = u.row(i);
-        let (head, tail) = x.split_at_mut((i + 1) * width);
-        let xi = &mut head[i * width..];
-        xi.copy_from_slice(&b[i * width..(i + 1) * width]);
-        for (&j, &v) in cols.iter().zip(vals.iter()) {
-            if j > i {
-                let xj = &tail[(j - i - 1) * width..(j - i) * width];
-                for (a, &xv) in xi.iter_mut().zip(xj.iter()) {
-                    *a -= v * xv;
-                }
-            }
+    reset(x, u.nrows() * width);
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = kind;
+    run_lane_blocked(b, width, x, |bb, bw, xb| {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if let Some(k) = avx2_for(kind) {
+            // SAFETY: `avx2_for` returned a kernel, so AVX2 is available.
+            return unsafe { avx2_shells::unit_upper(k, u, bb, bw, xb) };
         }
-    }
-    Ok(())
+        unit_upper_sweep(ScalarKernel, u, bb, bw, xb)
+    })
 }
 
 /// Scale every row of an `n × width` panel by the inverse diagonal, in place:
 /// `panel[i, lane] /= d[i]` for every lane. Each lane's arithmetic matches
-/// the scalar diagonal phase of [`ldl_solve_into`] bit for bit.
+/// the scalar diagonal phase of [`ldl_solve_into`] bit for bit, under either
+/// kernel.
 pub fn scale_diag_multi_into(d: &[f64], width: usize, panel: &mut [f64]) -> Result<()> {
+    scale_diag_multi_into_with(kernel::active_kernel(), d, width, panel)
+}
+
+/// [`scale_diag_multi_into`] with an explicit kernel choice.
+pub fn scale_diag_multi_into_with(
+    kind: KernelKind,
+    d: &[f64],
+    width: usize,
+    panel: &mut [f64],
+) -> Result<()> {
     if width == 0 || panel.len() != d.len() * width {
+        // As in `check_square_and_panel`: report the requested shape
+        // verbatim, never a `.max(1)`-garbled rounding of it.
         return Err(SparseError::DimensionMismatch {
             op: "scale_diag_multi",
-            left: (d.len(), width.max(1)),
-            right: (panel.len() / width.max(1), width),
+            left: (d.len(), width),
+            right: panel_shape(panel.len(), width),
         });
     }
-    for (i, (&di, row)) in d.iter().zip(panel.chunks_exact_mut(width)).enumerate() {
-        if di.abs() < PIVOT_TOL {
-            return Err(SparseError::SingularMatrix { pivot: i });
-        }
-        for v in row.iter_mut() {
-            *v /= di;
-        }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if let Some(k) = avx2_for(kind) {
+        // SAFETY: `avx2_for` returned a kernel, so AVX2 is available.
+        return unsafe { avx2_shells::scale_diag(k, d, width, panel) };
     }
-    Ok(())
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = kind;
+    scale_diag_sweep(ScalarKernel, d, width, panel)
 }
 
 /// Solve `L D Lᵀ X = B` for `width` right-hand sides at once — the panel
@@ -474,6 +738,21 @@ pub fn ldl_solve_multi_into(
     ws: &mut MultiSolveWorkspace,
     x: &mut Vec<f64>,
 ) -> Result<()> {
+    ldl_solve_multi_into_with(kernel::active_kernel(), l, u, d, b, width, ws, x)
+}
+
+/// [`ldl_solve_multi_into`] with an explicit kernel choice.
+#[allow(clippy::too_many_arguments)] // composite of three kernel-dispatched phases
+pub fn ldl_solve_multi_into_with(
+    kind: KernelKind,
+    l: &CsrMatrix,
+    u: &CsrMatrix,
+    d: &[f64],
+    b: &[f64],
+    width: usize,
+    ws: &mut MultiSolveWorkspace,
+    x: &mut Vec<f64>,
+) -> Result<()> {
     if d.len() != l.nrows() {
         return Err(SparseError::DimensionMismatch {
             op: "ldl_solve_multi diagonal",
@@ -481,9 +760,9 @@ pub fn ldl_solve_multi_into(
             right: (d.len(), 1),
         });
     }
-    solve_unit_lower_multi_into(l, b, width, &mut ws.intermediate)?;
-    scale_diag_multi_into(d, width, &mut ws.intermediate)?;
-    solve_unit_upper_multi_into(u, &ws.intermediate, width, x)
+    solve_unit_lower_multi_into_with(kind, l, b, width, &mut ws.intermediate)?;
+    scale_diag_multi_into_with(kind, d, width, &mut ws.intermediate)?;
+    solve_unit_upper_multi_into_with(kind, u, &ws.intermediate, width, x)
 }
 
 #[cfg(test)]
@@ -697,6 +976,60 @@ mod tests {
         assert!(scale_diag_multi_into(&[1.0], 2, &mut [1.0; 3]).is_err());
         let mut ws = MultiSolveWorkspace::new();
         assert!(ldl_solve_multi_into(&l, &l, &[1.0], &[1.0; 6], 2, &mut ws, &mut out).is_err());
+    }
+
+    #[test]
+    fn multi_solve_mismatch_payload_carries_requested_shape() {
+        let l = lower_example(); // 3 × 3
+        let mut out = Vec::new();
+        // width == 0: the left side reports the requested width verbatim, the
+        // right side reports the supplied panel as a single column — not the
+        // shape divided by `width.max(1)` the payload used to fabricate.
+        assert!(matches!(
+            solve_lower_multi_into(&l, &[1.0; 4], 0, &mut out),
+            Err(SparseError::DimensionMismatch {
+                left: (3, 0),
+                right: (4, 1),
+                ..
+            })
+        ));
+        // Ragged panel (length not a multiple of width): reported verbatim as
+        // a column, never rounded down to a fake row count.
+        assert!(matches!(
+            solve_unit_upper_multi_into(&l, &[1.0; 7], 2, &mut out),
+            Err(SparseError::DimensionMismatch {
+                left: (3, 2),
+                right: (7, 1),
+                ..
+            })
+        ));
+        // Evenly divisible but wrong row count: re-expressed against the
+        // requested width.
+        assert!(matches!(
+            solve_upper_multi_into(&l, &[1.0; 8], 2, &mut out),
+            Err(SparseError::DimensionMismatch {
+                left: (3, 2),
+                right: (4, 2),
+                ..
+            })
+        ));
+        // The diagonal scaling entry point shares the same payload contract.
+        assert!(matches!(
+            scale_diag_multi_into(&[1.0, 2.0, 3.0], 0, &mut [1.0; 4]),
+            Err(SparseError::DimensionMismatch {
+                left: (3, 0),
+                right: (4, 1),
+                ..
+            })
+        ));
+        assert!(matches!(
+            scale_diag_multi_into(&[1.0, 2.0, 3.0], 2, &mut [1.0; 7]),
+            Err(SparseError::DimensionMismatch {
+                left: (3, 2),
+                right: (7, 1),
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! SIMD-vs-scalar bit-identity and parallel-vs-serial determinism.
+//!
+//! The kernel engine's exactness contract (`mogul_sparse::kernel`) promises
+//! that the AVX2 path performs per lane exactly the IEEE-754 operations of
+//! the scalar path, in the same order — so every comparison here is exact
+//! `==` on `f64`, never a tolerance. Without `--features simd` (or on a CPU
+//! without AVX2) the `KernelKind::Simd` request falls back to the scalar
+//! kernel and the assertions hold trivially; under the feature matrix the
+//! same battery pins the real AVX2 instructions.
+//!
+//! The second half pins the wave-parallel factorizations: a worker count
+//! must never change a bit of the factors (or the error reported on
+//! breakdown), because the waves only ever parallelize provably disjoint
+//! rows.
+
+use mogul_sparse::kernel::KernelKind;
+use mogul_sparse::triangular::{
+    ldl_solve_multi_into_with, scale_diag_multi_into_with, solve_lower_multi_into_with,
+    solve_unit_lower_multi_into_with, solve_unit_upper_multi_into_with,
+    solve_upper_multi_into_with,
+};
+use mogul_sparse::{
+    complete_ldl_threaded, incomplete_ldl_threaded, CooMatrix, CsrMatrix, MultiSolveWorkspace,
+    SparseError,
+};
+use proptest::prelude::*;
+
+/// A random symmetric diagonally-dominant (hence SPD) matrix built from an
+/// edge list, mimicking the `I − α S` matrices Mogul factorizes.
+fn spd_matrix(n: usize, edges: &[(usize, usize)], weight: f64) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    let mut degree = vec![0.0; n];
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        coo.push_symmetric(a, b, -weight).unwrap();
+        degree[a] += weight;
+        degree[b] += weight;
+    }
+    for (i, &d) in degree.iter().enumerate() {
+        coo.push(i, i, d + 1.0).unwrap();
+    }
+    coo.to_csr()
+}
+
+fn edge_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (4usize..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 1..(3 * n));
+        (Just(n), edges)
+    })
+}
+
+/// A deterministic "ragged" panel whose values round at every operation.
+fn panel(n: usize, width: usize, salt: u64) -> Vec<f64> {
+    (0..n * width)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(salt);
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every multi-RHS entry point produces bit-identical panels under the
+    /// scalar and SIMD kernels, across narrow, full, misaligned and blocked
+    /// (wider than `MAX_PANEL_WIDTH`) widths, for both factorization
+    /// flavors' factors.
+    #[test]
+    fn simd_solves_are_bit_identical_to_scalar((n, edges) in edge_strategy(20), w in 0.05f64..0.45) {
+        let matrix = spd_matrix(n, &edges, w);
+        let complete = complete_ldl_threaded(&matrix, 1).unwrap().factors;
+        let incomplete = incomplete_ldl_threaded(&matrix, 1).unwrap();
+        let mut ws = MultiSolveWorkspace::new();
+        for factors in [&complete, &incomplete] {
+            let (l, u, d) = (&factors.l, &factors.u, &factors.d);
+            // Widths 1..=8 cover every lane remainder of the 4-wide AVX2
+            // chunking; 17 exercises the cache-blocked gather/scatter path.
+            for width in [1usize, 2, 3, 4, 5, 6, 7, 8, 17] {
+                let b = panel(n, width, width as u64);
+                let (mut x_s, mut x_v) = (Vec::new(), Vec::new());
+                for (kind, x) in [(KernelKind::Scalar, &mut x_s), (KernelKind::Simd, &mut x_v)] {
+                    solve_unit_lower_multi_into_with(kind, l, &b, width, x).unwrap();
+                }
+                prop_assert_eq!(&x_s, &x_v, "unit_lower width {}", width);
+                for (kind, x) in [(KernelKind::Scalar, &mut x_s), (KernelKind::Simd, &mut x_v)] {
+                    solve_unit_upper_multi_into_with(kind, u, &b, width, x).unwrap();
+                }
+                prop_assert_eq!(&x_s, &x_v, "unit_upper width {}", width);
+                for (kind, x) in [(KernelKind::Scalar, &mut x_s), (KernelKind::Simd, &mut x_v)] {
+                    ldl_solve_multi_into_with(kind, l, u, d, &b, width, &mut ws, x).unwrap();
+                }
+                prop_assert_eq!(&x_s, &x_v, "ldl width {}", width);
+                let (mut p_s, mut p_v) = (b.clone(), b);
+                scale_diag_multi_into_with(KernelKind::Scalar, d, width, &mut p_s).unwrap();
+                scale_diag_multi_into_with(KernelKind::Simd, d, width, &mut p_v).unwrap();
+                prop_assert_eq!(&p_s, &p_v, "scale_diag width {}", width);
+            }
+        }
+        // The non-unit solves over the lower factor with explicit diagonal
+        // (the substitutions of the unrestricted baselines).
+        let mut with_diag = CooMatrix::new(n, n);
+        for (i, j, v) in complete.l.iter() {
+            if i != j {
+                with_diag.push(i, j, v).unwrap();
+            }
+        }
+        for (i, &di) in complete.d.iter().enumerate() {
+            with_diag.push(i, i, di + 1.5).unwrap();
+        }
+        let lower = with_diag.to_csr();
+        let upper = lower.transpose();
+        for width in [3usize, 8, 17] {
+            let b = panel(n, width, 99);
+            let (mut x_s, mut x_v) = (Vec::new(), Vec::new());
+            for (kind, x) in [(KernelKind::Scalar, &mut x_s), (KernelKind::Simd, &mut x_v)] {
+                solve_lower_multi_into_with(kind, &lower, &b, width, x).unwrap();
+            }
+            prop_assert_eq!(&x_s, &x_v, "lower width {}", width);
+            for (kind, x) in [(KernelKind::Scalar, &mut x_s), (KernelKind::Simd, &mut x_v)] {
+                solve_upper_multi_into_with(kind, &upper, &b, width, x).unwrap();
+            }
+            prop_assert_eq!(&x_s, &x_v, "upper width {}", width);
+        }
+    }
+}
+
+/// A graph large and wide enough to actually engage the wave-parallel
+/// numeric path (`n ≥ PAR_MIN_DIM = 1024`, mean wave width ≥ 8): many small
+/// rings — shallow elimination trees, hundreds of rows per wave — sprinkled
+/// with a few cross-ring edges.
+fn wide_wave_matrix(rings: usize, ring_len: usize, weight: f64) -> CsrMatrix {
+    let n = rings * ring_len;
+    let mut edges = Vec::new();
+    for r in 0..rings {
+        let base = r * ring_len;
+        for i in 0..ring_len {
+            edges.push((base + i, base + (i + 1) % ring_len));
+        }
+        if r + 1 < rings && r % 7 == 0 {
+            edges.push((base, base + ring_len));
+        }
+    }
+    spd_matrix(n, &edges, weight)
+}
+
+#[test]
+fn parallel_factorizations_match_serial_bit_for_bit() {
+    // 1280 nodes ≥ PAR_MIN_DIM; 256 rings give wave widths in the hundreds.
+    let matrix = wide_wave_matrix(256, 5, 0.2);
+    let serial_c = complete_ldl_threaded(&matrix, 1).unwrap();
+    let serial_i = incomplete_ldl_threaded(&matrix, 1).unwrap();
+    for threads in [2usize, 4, 8] {
+        let par_c = complete_ldl_threaded(&matrix, threads).unwrap();
+        assert_eq!(
+            serial_c.factors.d, par_c.factors.d,
+            "complete d, {threads} threads"
+        );
+        assert_eq!(
+            serial_c.factors.l.to_dense().data(),
+            par_c.factors.l.to_dense().data(),
+            "complete l, {threads} threads"
+        );
+        assert_eq!(serial_c.factor_lower_nnz, par_c.factor_lower_nnz);
+        let par_i = incomplete_ldl_threaded(&matrix, threads).unwrap();
+        assert_eq!(serial_i.d, par_i.d, "incomplete d, {threads} threads");
+        assert_eq!(
+            serial_i.l.to_dense().data(),
+            par_i.l.to_dense().data(),
+            "incomplete l, {threads} threads"
+        );
+        assert_eq!(serial_i.boosted_pivots, par_i.boosted_pivots);
+    }
+}
+
+#[test]
+fn parallel_breakdown_reports_the_serial_error() {
+    // A big well-conditioned wave-parallel matrix plus one exactly singular
+    // 2×2 block `[[1, -1], [-1, 1]]` as its own component: eliminating the
+    // second block node produces pivot `1 - 1 = 0` exactly, in serial and in
+    // every wave schedule.
+    let base = wide_wave_matrix(256, 5, 0.2);
+    let n = base.nrows() + 2;
+    let (a, b) = (n - 2, n - 1);
+    let mut coo = CooMatrix::new(n, n);
+    for (i, j, v) in base.iter() {
+        coo.push(i, j, v).unwrap();
+    }
+    coo.push(a, a, 1.0).unwrap();
+    coo.push(b, b, 1.0).unwrap();
+    coo.push_symmetric(a, b, -1.0).unwrap();
+    let matrix = coo.to_csr();
+    let serial = complete_ldl_threaded(&matrix, 1).unwrap_err();
+    let SparseError::Breakdown { index, .. } = serial else {
+        panic!("expected Breakdown, got {serial:?}");
+    };
+    assert_eq!(index, b);
+    for threads in [2usize, 8] {
+        let parallel = complete_ldl_threaded(&matrix, threads).unwrap_err();
+        let SparseError::Breakdown {
+            index: par_index, ..
+        } = parallel
+        else {
+            panic!("expected Breakdown, got {parallel:?}");
+        };
+        assert_eq!(index, par_index, "{threads} threads");
+    }
+}

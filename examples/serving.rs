@@ -22,7 +22,7 @@ use std::time::Instant;
 /// available parallelism (or up to the CLI override), so the point of
 /// diminishing returns is always visible in the output.
 fn worker_counts() -> Vec<usize> {
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let cores = mogul_suite::sparse::effective_threads(0);
     let max = match std::env::args().nth(1) {
         Some(raw) => raw
             .parse::<usize>()
@@ -80,7 +80,7 @@ fn main() {
     let index = Arc::new(engine.into_out_of_sample());
     let rounds = 5usize;
     let mut baseline = None;
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let cores = mogul_suite::sparse::effective_threads(0);
     println!("host parallelism: {cores} (see docs/OPERATIONS.md for sizing guidance)");
     for workers in worker_counts() {
         let server = QueryServer::new(Arc::clone(&index), ServeOptions::with_workers(workers));
